@@ -1,0 +1,105 @@
+// Ablation — non-homogeneous fork (Section 6.2 text): when the entry
+// server is much larger than the two exits, the static standard (entry
+// stateless) is no longer right: the LP has the entry absorb most state,
+// and SERvartuka should adapt without reconfiguration.
+#include "bench_util.hpp"
+#include "lp/state_model.hpp"
+
+namespace {
+
+using namespace svk;
+using namespace svk::bench;
+using workload::PolicyKind;
+
+constexpr double kEntryScale = 3.0;  // entry is 3x the exits
+
+double g_static = 0.0;
+double g_dynamic = 0.0;
+double g_entry_stateful_share = 0.0;
+
+workload::ScenarioOptions hetero_options(PolicyKind policy) {
+  auto options = scenario(policy);
+  options.capacity_scale = {kScale * kEntryScale, kScale, kScale};
+  return options;
+}
+
+double find_sat(PolicyKind policy) {
+  const auto factory = workload::parallel_fork(hetero_options(policy));
+  return full(workload::find_saturation(factory, scaled(12000.0),
+                                        scaled(26000.0), scaled(1000.0),
+                                        measure_options()));
+}
+
+void BM_Hetero_StaticFork(benchmark::State& state) {
+  for (auto _ : state) {
+    g_static = find_sat(PolicyKind::kStaticChainLastStateful);
+  }
+  state.counters["saturation_cps"] = g_static;
+}
+BENCHMARK(BM_Hetero_StaticFork)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Hetero_Servartuka(benchmark::State& state) {
+  for (auto _ : state) {
+    g_dynamic = find_sat(PolicyKind::kServartuka);
+    // Inspect where the state ends up at high load.
+    auto bed = workload::parallel_fork(
+        hetero_options(PolicyKind::kServartuka))(scaled(g_dynamic));
+    bed->start_load();
+    bed->sim().run_until(SimTime::seconds(15.0));
+    const auto& p0 = bed->proxies()[0]->stats();
+    const auto& pa = bed->proxies()[1]->stats();
+    const auto& pb = bed->proxies()[2]->stats();
+    const double total = static_cast<double>(
+        p0.forwarded_stateful + pa.forwarded_stateful + pb.forwarded_stateful);
+    g_entry_stateful_share =
+        total > 0.0 ? static_cast<double>(p0.forwarded_stateful) / total
+                    : 0.0;
+  }
+  state.counters["saturation_cps"] = g_dynamic;
+  state.counters["entry_state_share"] = g_entry_stateful_share;
+}
+BENCHMARK(BM_Hetero_Servartuka)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_summary() {
+  print_header("Ablation: heterogeneous fork (Section 6.2)",
+               "entry 3x the exits, 50/50 split");
+
+  lp::StateDistributionModel model;
+  const auto s0 =
+      model.add_node("s0", kEntryScale * 10360.0, kEntryScale * 12300.0);
+  const auto sa = model.add_node("sa", 10360.0, 12300.0);
+  const auto sb = model.add_node("sb", 10360.0, 12300.0);
+  model.add_edge(s0, sa);
+  model.add_edge(s0, sb);
+  model.mark_entry(s0);
+  model.mark_exit(sa);
+  model.mark_exit(sb);
+  model.fix_split(s0, sa, 0.5);
+  model.fix_split(s0, sb, 0.5);
+  const auto lp_result = model.solve();
+
+  std::printf("\nmeasured (saturation, cps):\n");
+  std::printf("  static standard fork (entry stateless):   %10.0f\n",
+              g_static);
+  std::printf("  SERvartuka:                               %10.0f\n",
+              g_dynamic);
+  std::printf("  LP bound:                                 %10.0f"
+              " (entry keeps %.0f cps of state)\n",
+              lp_result.max_throughput, lp_result.node_stateful[0]);
+  std::printf("  SERvartuka entry share of stateful calls: %10.2f\n",
+              g_entry_stateful_share);
+  std::printf("\n(Section 6.2: with a larger first server it is beneficial"
+              " for the entry to\n maintain some or all state; SERvartuka"
+              " adapts while the static standard cannot.)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_summary();
+  return 0;
+}

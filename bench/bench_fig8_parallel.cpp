@@ -1,0 +1,86 @@
+// Figure 8 — "Three Server Parallel Configuration": throughput vs offered
+// load for a load-balancing fork (one entry, two exits, 50/50 split).
+//
+// Paper: static (entry stateless, both exits stateful) reaches 11990 cps;
+// SERvartuka 12830. The paper's own LP says the standard static fork is
+// already optimal ("in this configuration we cannot do better than servers
+// that have been statically preconfigured") and the authors note they
+// cannot explain SERvartuka's extra margin; we expect (and measure)
+// near-parity, with the LP bound printed alongside.
+#include "bench_util.hpp"
+#include "lp/state_model.hpp"
+
+namespace {
+
+using namespace svk;
+using namespace svk::bench;
+using workload::PolicyKind;
+
+Series g_static;
+Series g_dynamic;
+
+constexpr double kLo = 8000.0;
+constexpr double kHi = 13000.0;
+constexpr double kStep = 500.0;
+
+void BM_Fig8_StaticFork(benchmark::State& state) {
+  for (auto _ : state) {
+    g_static = run_throughput_series(
+        "static(exits-SF)",
+        workload::parallel_fork(
+            scenario(PolicyKind::kStaticChainLastStateful)),
+        kLo, kHi, kStep);
+  }
+  state.counters["saturation_cps"] = g_static.max_value;
+}
+BENCHMARK(BM_Fig8_StaticFork)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Fig8_Servartuka(benchmark::State& state) {
+  for (auto _ : state) {
+    g_dynamic = run_throughput_series(
+        "SERvartuka",
+        workload::parallel_fork(scenario(PolicyKind::kServartuka)), kLo,
+        kHi, kStep);
+  }
+  state.counters["saturation_cps"] = g_dynamic.max_value;
+}
+BENCHMARK(BM_Fig8_Servartuka)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void print_summary() {
+  print_header("Figure 8", "three-server parallel (fork) configuration");
+  print_series_table("throughput vs offered load",
+                     "calls/second, full-scale equivalents",
+                     {g_static, g_dynamic});
+  print_ascii_chart("throughput (cps) vs offered load (cps)",
+                    {g_static, g_dynamic});
+
+  lp::StateDistributionModel model;
+  const auto s0 = model.add_node("s0", 10360.0, 12300.0);
+  const auto sa = model.add_node("sa", 10360.0, 12300.0);
+  const auto sb = model.add_node("sb", 10360.0, 12300.0);
+  model.add_edge(s0, sa);
+  model.add_edge(s0, sb);
+  model.mark_entry(s0);
+  model.mark_exit(sa);
+  model.mark_exit(sb);
+  model.fix_split(s0, sa, 0.5);
+  model.fix_split(s0, sb, 0.5);
+  const auto lp_result = model.solve();
+
+  std::printf("\npaper vs measured (saturation, cps):\n");
+  print_paper_row("static fork", 11990.0, g_static.max_value);
+  print_paper_row("SERvartuka", 12830.0, g_dynamic.max_value);
+  print_paper_row("LP bound", lp_result.max_throughput,
+                  lp_result.max_throughput);
+  std::printf("\nratio SERvartuka/static: paper 1.07, measured %.2f\n",
+              g_dynamic.max_value / g_static.max_value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_summary();
+  return 0;
+}

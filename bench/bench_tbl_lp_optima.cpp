@@ -1,0 +1,133 @@
+// Section 4.1 (text) — LP optima for the paper's topologies, solved with
+// the from-scratch simplex on the exact formulation. Also micro-benchmarks
+// the solver itself.
+//
+// Paper anchors: two-in-series optimum 11240 cps (5620 stateful at each
+// node); the Figure 7 LP prediction at the 80/20 mix is 11960 cps (with the
+// published thresholds 10360/12300 the exact optimum is 11856; the paper's
+// value implies slightly different thresholds were used — see
+// EXPERIMENTS.md).
+#include "bench_util.hpp"
+#include "lp/state_model.hpp"
+
+namespace {
+
+using namespace svk;
+using namespace svk::bench;
+using lp::StateDistributionModel;
+
+constexpr double kTsf = 10360.0;
+constexpr double kTsl = 12300.0;
+
+StateDistributionModel series_model(int n) {
+  StateDistributionModel model;
+  std::vector<lp::NodeIndex> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(model.add_node("s" + std::to_string(i), kTsf, kTsl));
+  }
+  for (int i = 0; i + 1 < n; ++i) model.add_edge(nodes[i], nodes[i + 1]);
+  model.mark_entry(nodes.front());
+  model.mark_exit(nodes.back());
+  return model;
+}
+
+StateDistributionModel mix_model(double external_fraction) {
+  StateDistributionModel model;
+  const auto s1 = model.add_node("s1", kTsf, kTsl);
+  const auto s2 = model.add_node("s2", kTsf, kTsl);
+  model.add_edge(s1, s2);
+  model.mark_entry(s1);
+  model.mark_exit(s1);
+  model.mark_exit(s2);
+  model.fix_exit_split(s1, 1.0 - external_fraction);
+  model.fix_split(s1, s2, external_fraction);
+  return model;
+}
+
+double g_two_series = 0.0;
+double g_two_series_sf1 = 0.0;
+double g_three_series = 0.0;
+double g_mix80 = 0.0;
+double g_fork = 0.0;
+
+void BM_Lp_TwoSeries(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto model = series_model(2);
+    const auto result = model.solve();
+    benchmark::DoNotOptimize(result.max_throughput);
+    g_two_series = result.max_throughput;
+    g_two_series_sf1 = result.node_stateful[0];
+  }
+}
+BENCHMARK(BM_Lp_TwoSeries)->Unit(benchmark::kMicrosecond);
+
+void BM_Lp_ThreeSeries(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = series_model(3).solve();
+    benchmark::DoNotOptimize(result.max_throughput);
+    g_three_series = result.max_throughput;
+  }
+}
+BENCHMARK(BM_Lp_ThreeSeries)->Unit(benchmark::kMicrosecond);
+
+void BM_Lp_Mix80(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = mix_model(0.8).solve();
+    benchmark::DoNotOptimize(result.max_throughput);
+    g_mix80 = result.max_throughput;
+  }
+}
+BENCHMARK(BM_Lp_Mix80)->Unit(benchmark::kMicrosecond);
+
+void BM_Lp_Fork(benchmark::State& state) {
+  for (auto _ : state) {
+    StateDistributionModel model;
+    const auto s0 = model.add_node("s0", kTsf, kTsl);
+    const auto sa = model.add_node("sa", kTsf, kTsl);
+    const auto sb = model.add_node("sb", kTsf, kTsl);
+    model.add_edge(s0, sa);
+    model.add_edge(s0, sb);
+    model.mark_entry(s0);
+    model.mark_exit(sa);
+    model.mark_exit(sb);
+    model.fix_split(s0, sa, 0.5);
+    model.fix_split(s0, sb, 0.5);
+    const auto result = model.solve();
+    benchmark::DoNotOptimize(result.max_throughput);
+    g_fork = result.max_throughput;
+  }
+}
+BENCHMARK(BM_Lp_Fork)->Unit(benchmark::kMicrosecond);
+
+/// Solver scaling with chain length.
+void BM_Lp_SeriesScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto result = series_model(n).solve();
+    benchmark::DoNotOptimize(result.max_throughput);
+  }
+}
+BENCHMARK(BM_Lp_SeriesScaling)->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void print_summary() {
+  print_header("LP optima (Section 4.1)",
+               "state-distribution LP solved exactly");
+  std::printf("\npaper vs computed (cps):\n");
+  print_paper_row("two in series, optimum", 11240.0, g_two_series);
+  print_paper_row("two in series, stateful at node 1", 5620.0,
+                  g_two_series_sf1);
+  print_paper_row("80/20 mix LP prediction", 11960.0, g_mix80);
+  std::printf("  three in series, optimum:  %.0f cps\n", g_three_series);
+  std::printf("  50/50 fork, optimum:       %.0f cps"
+              " (entry stays stateless)\n", g_fork);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_summary();
+  return 0;
+}

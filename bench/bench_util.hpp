@@ -1,0 +1,155 @@
+// Shared benchmark harness utilities.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the simulated topologies at 1/10 of the calibrated capacity (linear
+// scaling is verified by CostModelTest.SaturationScalesWithCapacity and the
+// workload tests), converts results back to full-scale calls/second, and
+// prints a paper-vs-measured summary after the google-benchmark runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/runner.hpp"
+#include "workload/scenarios.hpp"
+
+namespace svk::bench {
+
+/// Simulation scale: capacities (and hence rates) at 1/10 of calibration.
+inline constexpr double kScale = 0.1;
+
+/// Converts a measured (scaled) rate to full-scale calls/second.
+[[nodiscard]] inline double full(double scaled_cps) {
+  return scaled_cps / kScale;
+}
+/// Converts a full-scale rate to the scaled simulation units.
+[[nodiscard]] inline double scaled(double full_cps) {
+  return full_cps * kScale;
+}
+
+[[nodiscard]] inline workload::ScenarioOptions scenario(
+    workload::PolicyKind policy, int max_proxies = 4) {
+  workload::ScenarioOptions options;
+  options.policy = policy;
+  options.capacity_scale.assign(max_proxies, kScale);
+  options.controller_period = SimTime::seconds(1.0);  // the paper's window
+  return options;
+}
+
+[[nodiscard]] inline workload::MeasureOptions measure_options() {
+  workload::MeasureOptions options;
+  options.warmup = SimTime::seconds(10.0);  // controller convergence
+  options.measure = SimTime::seconds(10.0);
+  return options;
+}
+
+/// One plotted series: (offered, value) in full-scale units.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+  double max_value = 0.0;
+};
+
+[[nodiscard]] inline Series run_throughput_series(
+    const std::string& name, const workload::BedFactory& factory,
+    double lo_full, double hi_full, double step_full) {
+  Series series;
+  series.name = name;
+  const auto sweep = workload::sweep(factory, scaled(lo_full),
+                                     scaled(hi_full), scaled(step_full),
+                                     measure_options());
+  for (const auto& point : sweep.points) {
+    series.points.emplace_back(full(point.offered_cps),
+                               full(point.throughput_cps));
+  }
+  series.max_value = full(sweep.max_throughput_cps);
+  return series;
+}
+
+inline void print_series_table(const char* title, const char* y_label,
+                               const std::vector<Series>& series) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s", "offered(cps)");
+  for (const Series& s : series) std::printf(" %18s", s.name.c_str());
+  std::printf("\n");
+  // Assume aligned x-grids (same sweep parameters).
+  const std::size_t rows = series.empty() ? 0 : series.front().points.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::printf("%-14.0f", series.front().points[i].first);
+    for (const Series& s : series) {
+      if (i < s.points.size()) {
+        std::printf(" %18.0f", s.points[i].second);
+      } else {
+        std::printf(" %18s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("(%s)\n", y_label);
+}
+
+/// Renders series as an ASCII scatter plot (one glyph per series), so the
+/// bench output visually mirrors the paper's figure.
+inline void print_ascii_chart(const char* title,
+                              const std::vector<Series>& series,
+                              int width = 68, int height = 20) {
+  if (series.empty() || series.front().points.empty()) return;
+  double x_min = 1e300, x_max = -1e300, y_min = 0.0, y_max = -1e300;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max <= x_min || y_max <= y_min) return;
+  y_max *= 1.05;
+
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#'};
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& [x, y] : series[si].points) {
+      const int col = static_cast<int>((x - x_min) / (x_max - x_min) *
+                                       (width - 1));
+      const int row = static_cast<int>((y - y_min) / (y_max - y_min) *
+                                       (height - 1));
+      const int r = height - 1 - std::clamp(row, 0, height - 1);
+      grid[r][std::clamp(col, 0, width - 1)] = glyph;
+    }
+  }
+
+  std::printf("\n%s\n", title);
+  for (int r = 0; r < height; ++r) {
+    const double y_label =
+        y_min + (y_max - y_min) * (height - 1 - r) / (height - 1);
+    std::printf("%9.0f |%s\n", y_label, grid[r].c_str());
+  }
+  std::printf("%9s +%s\n", "", std::string(width, '-').c_str());
+  std::printf("%9s  %-10.0f%*.0f\n", "", x_min, width - 10, x_max);
+  std::printf("%9s  legend:", "");
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    std::printf("  %c %s", kGlyphs[si % sizeof(kGlyphs)],
+                series[si].name.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void print_paper_row(const char* metric, double paper,
+                            double measured) {
+  const double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  %-46s paper %10.0f   measured %10.0f   (x%.2f)\n", metric,
+              paper, measured, ratio);
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace svk::bench

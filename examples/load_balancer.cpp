@@ -1,0 +1,63 @@
+// Load balancer — the paper's Figure 8 topology as an operations story:
+// an entry proxy forks calls across two exit proxies. With homogeneous
+// servers the textbook static configuration (entry stateless, exits
+// stateful) is optimal and SERvartuka matches it; make the entry bigger or
+// skew the split and the static choice goes stale while SERvartuka adapts.
+//
+//   $ ./load_balancer [entry_capacity_multiplier] [split_to_upper]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/runner.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace svk;
+
+namespace {
+
+// Examples run at 1/10 of the calibrated capacity and report full-scale
+// equivalents (scaling is linear; see EXPERIMENTS.md), so a demo finishes
+// in seconds.
+constexpr double kScale = 0.1;
+
+double saturation(workload::PolicyKind policy, double entry_scale,
+                  double split) {
+  workload::ScenarioOptions options;
+  options.policy = policy;
+  options.capacity_scale = {kScale * entry_scale, kScale, kScale};
+  const auto factory = workload::parallel_fork(options, split);
+  workload::MeasureOptions measure;
+  measure.warmup = SimTime::seconds(10.0);
+  measure.measure = SimTime::seconds(8.0);
+  const double hi = kScale * (14000.0 + 12000.0 * (entry_scale - 1.0));
+  return workload::find_saturation(factory, kScale * 9000.0, hi,
+                                   kScale * 1000.0, measure) /
+         kScale;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double entry_scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const double split = argc > 2 ? std::atof(argv[2]) : 0.5;
+  std::printf("load_balancer: entry %gx capacity, %.0f/%.0f split\n",
+              entry_scale, 100.0 * split, 100.0 * (1.0 - split));
+
+  std::printf("\n  measuring static standard (entry stateless, exits"
+              " stateful)...\n");
+  const double static_sat = saturation(
+      workload::PolicyKind::kStaticChainLastStateful, entry_scale, split);
+  std::printf("  measuring SERvartuka...\n");
+  const double dynamic_sat =
+      saturation(workload::PolicyKind::kServartuka, entry_scale, split);
+
+  std::printf("\n  static standard: %8.0f cps\n", static_sat);
+  std::printf("  SERvartuka:      %8.0f cps  (%+.0f%%)\n", dynamic_sat,
+              100.0 * (dynamic_sat / static_sat - 1.0));
+  if (entry_scale == 1.0 && split == 0.5) {
+    std::printf("\nHomogeneous 50/50: the static standard is already"
+                " optimal (the paper's LP\nsays so too) — expect parity."
+                " Try ./load_balancer 3 0.5 or ./load_balancer 1 0.7\n");
+  }
+  return 0;
+}

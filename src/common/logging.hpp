@@ -1,0 +1,35 @@
+// Minimal leveled logging. Off by default so that simulation hot paths pay
+// only a branch; enable via Logger::set_level for debugging runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace svk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log sink writing to stderr.
+class Logger {
+ public:
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  static void write(LogLevel level, const std::string& message);
+
+  [[nodiscard]] static bool enabled(LogLevel level) {
+    return level >= Logger::level();
+  }
+};
+
+}  // namespace svk
+
+// Usage: SVK_LOG(kInfo, "node " << id << " overloaded");
+#define SVK_LOG(lvl, expr)                                          \
+  do {                                                              \
+    if (::svk::Logger::enabled(::svk::LogLevel::lvl)) {             \
+      std::ostringstream svk_log_oss;                               \
+      svk_log_oss << expr;                                          \
+      ::svk::Logger::write(::svk::LogLevel::lvl, svk_log_oss.str()); \
+    }                                                               \
+  } while (0)

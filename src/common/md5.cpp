@@ -1,0 +1,150 @@
+#include "common/md5.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace svk {
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kSines = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::array<std::uint32_t, 64> kShifts = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr std::uint32_t rotl32(std::uint32_t x, std::uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+}  // namespace
+
+Md5::Md5() : state_{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476} {}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + kSines[i] + m[g], kShifts[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(std::string_view data) {
+  assert(!finalized_);
+  length_ += data.size();
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t remaining = data.size();
+
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(remaining, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, bytes, take);
+    buffered_ += take;
+    bytes += take;
+    remaining -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (remaining >= 64) {
+    process_block(bytes);
+    bytes += 64;
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    std::memcpy(buffer_.data(), bytes, remaining);
+    buffered_ = remaining;
+  }
+}
+
+std::array<std::uint8_t, 16> Md5::digest() {
+  assert(!finalized_);
+  finalized_ = true;
+
+  const std::uint64_t bit_length = length_ * 8;
+  // Padding: 0x80 then zeros until 56 mod 64, then 64-bit little-endian
+  // length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  // Feed without asserting on finalized_ again.
+  finalized_ = false;
+  update(std::string_view(reinterpret_cast<const char*>(pad), pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>((bit_length >> (8 * i)) & 0xFF);
+  }
+  update(std::string_view(reinterpret_cast<const char*>(len_bytes), 8));
+  finalized_ = true;
+  assert(buffered_ == 0);
+
+  std::array<std::uint8_t, 16> out{};
+  for (int i = 0; i < 4; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] & 0xFF);
+    out[i * 4 + 1] = static_cast<std::uint8_t>((state_[i] >> 8) & 0xFF);
+    out[i * 4 + 2] = static_cast<std::uint8_t>((state_[i] >> 16) & 0xFF);
+    out[i * 4 + 3] = static_cast<std::uint8_t>((state_[i] >> 24) & 0xFF);
+  }
+  return out;
+}
+
+std::string Md5::hex(std::string_view data) {
+  Md5 h;
+  h.update(data);
+  return to_hex(h.digest());
+}
+
+std::string to_hex(const std::array<std::uint8_t, 16>& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (std::size_t i = 0; i < digest.size(); ++i) {
+    out[i * 2] = kHex[digest[i] >> 4];
+    out[i * 2 + 1] = kHex[digest[i] & 0xF];
+  }
+  return out;
+}
+
+}  // namespace svk

@@ -1,0 +1,43 @@
+// MD5 message digest (RFC 1321), implemented from scratch for SIP Digest
+// authentication (RFC 2617 uses MD5 for the H(A1)/H(A2) computation).
+//
+// MD5 is cryptographically broken; it is used here solely for protocol
+// fidelity with the SIP Digest scheme the paper's OpenSER deployment ran,
+// not as a security primitive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace svk {
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5();
+
+  void update(std::string_view data);
+
+  /// Finalizes and returns the 16-byte digest. The hasher must not be
+  /// updated afterwards.
+  [[nodiscard]] std::array<std::uint8_t, 16> digest();
+
+  /// Convenience: hex digest of a single buffer.
+  [[nodiscard]] static std::string hex(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t length_{0};  // total bytes fed
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_{0};
+  bool finalized_{false};
+};
+
+/// Renders a 16-byte digest as 32 lowercase hex characters.
+[[nodiscard]] std::string to_hex(const std::array<std::uint8_t, 16>& digest);
+
+}  // namespace svk

@@ -1,0 +1,61 @@
+// A small Result<T> for recoverable failures (malformed wire input, lookup
+// misses) where throwing would be wrong: these are expected outcomes, not
+// programming errors. Modeled on std::expected (unavailable pre-C++23).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace svk {
+
+/// Carries an error description for a failed operation.
+struct Error {
+  std::string message;
+};
+
+[[nodiscard]] inline Error make_error(std::string msg) {
+  return Error{std::move(msg)};
+}
+
+/// Either a value of type T or an Error.
+///
+/// Accessing value() on a failed Result is a precondition violation
+/// (asserted), mirroring std::expected.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace svk

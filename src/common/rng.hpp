@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulation runs must be exactly reproducible from a seed, so we ship our
+// own generator (xoshiro256++, public domain algorithm by Blackman & Vigna)
+// rather than relying on the unspecified std::default_random_engine, and our
+// own distribution transforms rather than the implementation-defined
+// std::*_distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace svk {
+
+/// xoshiro256++ generator with SplitMix64 seeding.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDC0FFEEULL);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return UINT64_MAX; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Exponentially distributed draw with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Splits off an independently seeded child generator. Children derived
+  /// with distinct salts produce decorrelated streams.
+  [[nodiscard]] Rng split(std::uint64_t salt);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace svk

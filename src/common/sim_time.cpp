@@ -1,0 +1,25 @@
+#include "common/sim_time.hpp"
+
+#include <cstdio>
+
+namespace svk {
+
+std::string SimTime::to_string() const {
+  char buf[32];
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis());
+  } else if (ns_ >= 1'000 || ns_ <= -1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ns_ * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns_));
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.to_string();
+}
+
+}  // namespace svk

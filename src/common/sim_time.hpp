@@ -1,0 +1,78 @@
+// Simulated time.
+//
+// The whole system runs on a single virtual clock owned by the discrete-event
+// simulator. Time is kept as an integer nanosecond count so that event
+// ordering is exact and runs are bit-reproducible (no floating-point drift).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace svk {
+
+/// A point on (or a distance along) the simulated timeline, in nanoseconds.
+///
+/// SimTime is used both as a time point and as a duration; the arithmetic is
+/// the same and the simulation never needs wall-clock anchoring.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime nanos(std::int64_t n) {
+    return SimTime{n};
+  }
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) {
+    return SimTime{us * 1000};
+  }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) {
+    return SimTime{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  /// The largest representable time; used as "never".
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{INT64_MAX};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return ns_ * 1e-9; }
+  [[nodiscard]] constexpr double to_millis() const { return ns_ * 1e-6; }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimTime d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return a * k;
+  }
+
+  /// Renders as a human-readable duration, e.g. "1.500s" or "250ms".
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t);
+
+ private:
+  constexpr explicit SimTime(std::int64_t n) : ns_(n) {}
+
+  std::int64_t ns_{0};
+};
+
+}  // namespace svk

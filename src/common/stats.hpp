@@ -1,0 +1,87 @@
+// Online statistics used by the measurement layer: streaming mean/variance,
+// a fixed-memory quantile sketch for response times, and windowed rates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace svk {
+
+/// Welford streaming mean / variance / extrema.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void reset();
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Fixed-bin histogram over [0, limit); out-of-range samples clamp to the
+/// last bin. Supports quantile queries by bin interpolation. Used for
+/// response-time distributions where thousands of samples per second make
+/// exact storage wasteful.
+class Histogram {
+ public:
+  /// \param limit     upper edge of the tracked range (exclusive)
+  /// \param num_bins  number of equal-width bins (>= 1)
+  Histogram(double limit, std::size_t num_bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return total_; }
+
+  /// Value below which the given fraction q in [0,1] of samples fall,
+  /// linearly interpolated within the containing bin. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double mean() const;
+
+  void reset();
+
+ private:
+  double limit_;
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::size_t total_{0};
+  double sum_{0.0};
+};
+
+/// Counts events and converts to a rate over explicit windows of simulated
+/// time. The SERvartuka controller and the measurement probes both sample
+/// rates this way (the paper: "measurements in any system cannot be
+/// instantaneous", Section 5).
+class WindowedRate {
+ public:
+  void record(std::uint64_t n = 1) { count_ += n; }
+
+  /// Closes the window that started at `window_start` and ends `now`;
+  /// returns events/second over that window and restarts the counter.
+  double close_window(SimTime window_start, SimTime now);
+
+  [[nodiscard]] std::uint64_t raw_count() const { return count_; }
+  void reset() { count_ = 0; }
+
+ private:
+  std::uint64_t count_{0};
+};
+
+}  // namespace svk

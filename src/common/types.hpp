@@ -1,0 +1,58 @@
+// Strong identifier types shared across the library.
+//
+// A StrongId<Tag> wraps an integer so that, e.g., a node address can never be
+// accidentally passed where a transaction sequence number is expected
+// (CppCoreGuidelines P.1/P.4: express ideas directly in code, prefer static
+// type safety).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace svk {
+
+/// An opaque, strongly-typed integer identifier.
+///
+/// \tparam Tag   phantom type distinguishing unrelated id spaces
+/// \tparam Rep   underlying representation
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+/// Address of an element on the simulated network (proxy, UA, ...).
+using Address = StrongId<struct AddressTag, std::uint32_t>;
+
+/// Identifies one node of a proxy topology in the LP model.
+using NodeId = StrongId<struct NodeTag, std::uint32_t>;
+
+/// Monotonic per-process event sequence number (FIFO tie-breaking).
+using SeqNo = StrongId<struct SeqTag, std::uint64_t>;
+
+}  // namespace svk
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<svk::StrongId<Tag, Rep>> {
+  size_t operator()(svk::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

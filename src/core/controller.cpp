@@ -1,0 +1,230 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace svk::core {
+
+ControllerConfig ControllerConfig::from_call_rates(double t_sf_cps,
+                                                   double t_sl_cps,
+                                                   SimTime period) {
+  ControllerConfig config;
+  config.t_sf = t_sf_cps * kRequestsPerCall;
+  config.t_sl = t_sl_cps * kRequestsPerCall;
+  config.period = period;
+  return config;
+}
+
+Controller::Controller(ControllerConfig config)
+    : config_(config),
+      alpha_(1.0 / config.t_sf),
+      beta_(1.0 / config.t_sl) {
+  assert(config.t_sl > config.t_sf && config.t_sf > 0.0);
+}
+
+void Controller::register_paths(const std::vector<proxy::PathInfo>& paths) {
+  paths_.clear();
+  paths_.reserve(paths.size());
+  for (const auto& info : paths) {
+    PathState state;
+    state.delegable = info.delegable;
+    paths_.push_back(state);
+  }
+}
+
+proxy::StateDecision Controller::decide(const proxy::RequestContext& ctx) {
+  // Paths can appear after registration (route-set forwarding to a neighbor
+  // not in the static table); grow defensively.
+  if (ctx.path_index >= paths_.size()) {
+    paths_.resize(ctx.path_index + 1);
+    paths_[ctx.path_index].delegable = ctx.delegable;
+  }
+  PathState& path = paths_[ctx.path_index];
+  ++path.msg_count;
+  ++tot_msg_;
+
+  // Algorithm 1: already-stateful traffic is always forwarded statelessly.
+  if (ctx.already_stateful) {
+    ++path.fasf_count;
+    return proxy::StateDecision::kStateless;
+  }
+  // Exit paths cannot delegate: this node is the last chance to be
+  // stateful, so it always takes the state (CPU admission is the final
+  // backstop when that is infeasible).
+  if (!path.delegable) {
+    ++path.sf_count;
+    ++tot_sf_;
+    return proxy::StateDecision::kStateful;
+  }
+  // Delegable path: take state for sf_fraction of the not-yet-stateful
+  // requests (error diffusion keeps the realized ratio exact and evenly
+  // interleaved), delegating the remainder downstream unmarked. The
+  // window-count cap is kept as a guard against rate overshoots.
+  if (path.sf_fraction >= 1.0) {
+    ++path.sf_count;
+    ++tot_sf_;
+    return proxy::StateDecision::kStateful;
+  }
+  path.sf_accumulator += path.sf_fraction;
+  // The 1.5x window-count guard only trips on large rate overshoots; the
+  // fraction is what realizes the share in steady state.
+  if (path.sf_accumulator >= 1.0 &&
+      static_cast<double>(path.sf_count) <= 1.5 * path.myshare) {
+    path.sf_accumulator -= 1.0;
+    ++path.sf_count;
+    ++tot_sf_;
+    return proxy::StateDecision::kStateful;
+  }
+  return proxy::StateDecision::kStateless;
+}
+
+void Controller::on_overload_signal(std::size_t path_index, bool on,
+                                    double c_asf_rate) {
+  if (path_index >= paths_.size()) {
+    paths_.resize(path_index + 1);
+    paths_[path_index].delegable = true;
+  }
+  PathState& path = paths_[path_index];
+  path.overloaded = on;
+  path.frozen_c_asf = on ? c_asf_rate : 0.0;
+}
+
+void Controller::on_tick(SimTime now) {
+  if (!first_tick_done_) {
+    // First tick: adopt the window and start measuring from here.
+    first_tick_done_ = true;
+    last_tick_ = now;
+    reset_window_counters();
+    return;
+  }
+  const double elapsed = (now - last_tick_).to_seconds();
+  last_tick_ = now;
+  if (elapsed <= 0.0) return;
+
+  const double window = config_.period.to_seconds();
+  const double total_rate = static_cast<double>(tot_msg_) / elapsed;
+  last_total_rate_ = total_rate;
+
+  // Feasible aggregate stateful rate at the current load (Eq. 6/8),
+  // against the configured utilization ceiling.
+  const double u = config_.target_utilization;
+  const double inv_ab = 1.0 / (alpha_ - beta_);
+  const double budget_rate =
+      std::max(0.0, (u - beta_ * total_rate) * inv_ab);
+  last_budget_rate_ = budget_rate;
+
+  if (total_rate <= config_.t_sf) {
+    // Eq. 8 case 1: everything not yet stateful can be handled statefully.
+    for (PathState& path : paths_) {
+      path.myshare = std::numeric_limits<double>::infinity();
+      path.sf_fraction = 1.0;
+      path.smoothed_share = -1.0;
+    }
+    if (self_overloaded_) {
+      self_overloaded_ = false;
+      if (send_overload) send_overload(false, 0.0);
+    }
+    reset_window_counters();
+    return;
+  }
+
+  // Closed-loop drift correction (see ControllerConfig): back the share
+  // off while the CPU runs at/above target or builds a queue, recover
+  // slowly once it cools down.
+  if (config_.utilization_feedback && observed_utilization >= 0.0) {
+    if (observed_backlog_fraction > 0.3 ||
+        observed_utilization > config_.target_utilization) {
+      correction_ = std::max(0.02, correction_ * 0.85);
+    } else if (observed_utilization < config_.target_utilization - 0.03) {
+      correction_ = std::min(1.0, correction_ + 0.05);
+    }
+  }
+
+  // Eq. 8 case 2 / Algorithm 2: split the budget across paths.
+  //
+  // Fixed commitments first: exit paths must absorb all their
+  // not-yet-stateful traffic; overloaded paths force us to absorb whatever
+  // exceeds the frozen downstream allowance c_ASF.
+  double required_rate = 0.0;  // stateful work we cannot avoid
+  double c_rate = u * inv_ab;  // Algorithm 2's constant `c` (per second)
+  std::size_t not_ovld_count = 0;
+  for (PathState& path : paths_) {
+    const double rate = static_cast<double>(path.msg_count) / elapsed;
+    const double fasf_rate = static_cast<double>(path.fasf_count) / elapsed;
+    if (!path.delegable) {
+      // Exit flow t_iz: contributes -alpha*t_z/(alpha-beta) + fasf_z to c.
+      c_rate += fasf_rate - alpha_ * rate * inv_ab;
+      required_rate += std::max(0.0, rate - fasf_rate);
+      path.myshare = std::numeric_limits<double>::infinity();
+    } else if (path.overloaded) {
+      c_rate += path.frozen_c_asf + fasf_rate - alpha_ * rate * inv_ab;
+      const double forced =
+          std::max(0.0, rate - path.frozen_c_asf - fasf_rate);
+      required_rate += forced;
+      // Handle exactly the overflow statefully; the rest rides the frozen
+      // downstream allowance.
+      path.myshare = forced * window;
+      path.smoothed_share = -1.0;
+      const double nasf_rate = std::max(rate - fasf_rate, 1e-9);
+      path.sf_fraction = std::min(1.0, forced / nasf_rate);
+    } else {
+      ++not_ovld_count;
+    }
+  }
+
+  if (not_ovld_count > 0) {
+    for (PathState& path : paths_) {
+      if (!path.delegable || path.overloaded) continue;
+      const double rate = static_cast<double>(path.msg_count) / elapsed;
+      const double raw_share =
+          std::max(0.0, c_rate / static_cast<double>(not_ovld_count) -
+                            beta_ * rate * inv_ab);
+      if (path.smoothed_share < 0.0) {
+        path.smoothed_share = raw_share;
+      } else {
+        const double g = config_.share_smoothing_gain;
+        path.smoothed_share = (1.0 - g) * path.smoothed_share + g * raw_share;
+      }
+      const double share_rate = path.smoothed_share * correction_;
+      path.myshare = share_rate * window;
+      const double fasf_rate =
+          static_cast<double>(path.fasf_count) / elapsed;
+      const double nasf_rate = std::max(rate - fasf_rate, 1e-9);
+      path.sf_fraction = std::min(1.0, share_rate / nasf_rate);
+    }
+  }
+
+  // Self-overload detection (Algorithm 2's upstream signal): the stateful
+  // work this node cannot shed exceeds its feasible budget.
+  const bool overloaded_now =
+      not_ovld_count == 0 &&
+      required_rate > budget_rate * config_.overload_headroom;
+  if (overloaded_now && !self_overloaded_) {
+    self_overloaded_ = true;
+    // Advertise the stateful rate the subtree rooted here keeps absorbing:
+    // our own feasible budget plus everything frozen further downstream.
+    double c_asf = budget_rate;
+    for (const PathState& path : paths_) {
+      if (path.delegable && path.overloaded) c_asf += path.frozen_c_asf;
+    }
+    if (send_overload) send_overload(true, c_asf);
+  } else if (self_overloaded_ &&
+             required_rate < budget_rate * config_.recover_factor) {
+    self_overloaded_ = false;
+    if (send_overload) send_overload(false, 0.0);
+  }
+
+  reset_window_counters();
+}
+
+void Controller::reset_window_counters() {
+  for (PathState& path : paths_) {
+    path.msg_count = 0;
+    path.fasf_count = 0;
+    path.sf_count = 0;
+  }
+  tot_msg_ = 0;
+  tot_sf_ = 0;
+}
+
+}  // namespace svk::core

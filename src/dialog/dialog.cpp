@@ -1,0 +1,76 @@
+#include "dialog/dialog.hpp"
+
+#include <utility>
+
+namespace svk::dialog {
+namespace {
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+DialogId DialogId::make(const std::string& call_id, std::string tag1,
+                        std::string tag2) {
+  if (tag2 < tag1) std::swap(tag1, tag2);
+  return DialogId{call_id, std::move(tag1), std::move(tag2)};
+}
+
+std::size_t DialogIdHash::operator()(const DialogId& id) const noexcept {
+  std::uint64_t h = fnv1a(id.call_id, 0xcbf29ce484222325ULL);
+  h = fnv1a(id.tag_a, h);
+  h = fnv1a(id.tag_b, h);
+  return static_cast<std::size_t>(h);
+}
+
+Dialog& DialogManager::create_early(const sip::Message& invite, SimTime now) {
+  auto id = DialogId::make(invite.call_id(), invite.from().tag, "");
+  auto [it, inserted] = dialogs_.try_emplace(id);
+  if (inserted) {
+    it->second.id = id;
+    it->second.created_at = now;
+    ++created_;
+  }
+  return it->second;
+}
+
+Dialog* DialogManager::confirm(const sip::Message& response_2xx) {
+  const auto early_id =
+      DialogId::make(response_2xx.call_id(), response_2xx.from().tag, "");
+  const auto it = dialogs_.find(early_id);
+  if (it == dialogs_.end()) {
+    // Maybe already confirmed (retransmitted 2xx).
+    const auto confirmed_id = DialogId::make(
+        response_2xx.call_id(), response_2xx.from().tag, response_2xx.to().tag);
+    const auto cit = dialogs_.find(confirmed_id);
+    return cit != dialogs_.end() ? &cit->second : nullptr;
+  }
+  Dialog moved = std::move(it->second);
+  dialogs_.erase(it);
+  moved.id = DialogId::make(response_2xx.call_id(), response_2xx.from().tag,
+                            response_2xx.to().tag);
+  moved.state = DialogState::kConfirmed;
+  auto [nit, inserted] = dialogs_.try_emplace(moved.id, std::move(moved));
+  (void)inserted;
+  return &nit->second;
+}
+
+Dialog* DialogManager::match(const sip::Message& request) {
+  if (request.to().tag.empty()) return nullptr;  // not in-dialog
+  const auto id = DialogId::make(request.call_id(), request.from().tag,
+                                 request.to().tag);
+  const auto it = dialogs_.find(id);
+  if (it == dialogs_.end()) return nullptr;
+  ++it->second.transactions_seen;
+  return &it->second;
+}
+
+void DialogManager::terminate(const DialogId& id) { dialogs_.erase(id); }
+
+}  // namespace svk::dialog

@@ -1,0 +1,73 @@
+// Dialog-layer state (RFC 3261 12), as kept by a dialog-stateful proxy.
+//
+// A dialog ties the INVITE transaction to later in-dialog transactions
+// (re-INVITE, BYE). The paper's "Dialog Stateful" mode keeps one of these
+// records per call for the whole call duration — the costliest mode in its
+// Figure 3 profile.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/sim_time.hpp"
+#include "sip/message.hpp"
+
+namespace svk::dialog {
+
+/// Dialog identifier: Call-ID plus the two tags. Proxies can see a dialog
+/// from either direction (caller's BYE vs callee's BYE), so the key
+/// normalizes tag order.
+struct DialogId {
+  std::string call_id;
+  std::string tag_a;  // lexicographically smaller tag
+  std::string tag_b;
+
+  [[nodiscard]] static DialogId make(const std::string& call_id,
+                                     std::string tag1, std::string tag2);
+
+  friend bool operator==(const DialogId&, const DialogId&) = default;
+};
+
+struct DialogIdHash {
+  std::size_t operator()(const DialogId& id) const noexcept;
+};
+
+enum class DialogState { kEarly, kConfirmed, kTerminated };
+
+/// One dialog record.
+struct Dialog {
+  DialogId id;
+  DialogState state = DialogState::kEarly;
+  SimTime created_at;
+  std::uint32_t transactions_seen = 1;
+};
+
+/// The dialog table of one element.
+class DialogManager {
+ public:
+  /// Creates an early dialog from a forwarded INVITE (From tag known, To
+  /// tag still empty). The early key uses the empty To tag.
+  Dialog& create_early(const sip::Message& invite, SimTime now);
+
+  /// Promotes an early dialog to confirmed when the 2xx arrives carrying
+  /// the UAS tag; re-keys the record. Returns the confirmed dialog, or
+  /// nullptr when no early dialog matches.
+  Dialog* confirm(const sip::Message& response_2xx);
+
+  /// Finds the dialog an in-dialog request (e.g. BYE) belongs to.
+  [[nodiscard]] Dialog* match(const sip::Message& request);
+
+  /// Removes a dialog (after the BYE transaction completes).
+  void terminate(const DialogId& id);
+
+  [[nodiscard]] std::size_t active_count() const { return dialogs_.size(); }
+  [[nodiscard]] std::uint64_t created_count() const { return created_; }
+
+ private:
+  std::unordered_map<DialogId, Dialog, DialogIdHash> dialogs_;
+  std::uint64_t created_{0};
+};
+
+}  // namespace svk::dialog

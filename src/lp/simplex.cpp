@@ -1,0 +1,230 @@
+#include "lp/simplex.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace svk::lp {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr int kMaxIterations = 20000;
+
+/// Dense tableau state for one simplex run.
+struct Tableau {
+  std::size_t rows;          // constraints
+  std::size_t cols;          // total variables (structural+slack+artificial)
+  std::vector<std::vector<double>> a;  // rows x cols
+  std::vector<double> b;               // rhs, kept >= 0
+  std::vector<std::size_t> basis;      // basic variable per row
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a[row][col];
+    assert(std::abs(p) > kTol);
+    for (std::size_t j = 0; j < cols; ++j) a[row][j] /= p;
+    b[row] /= p;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (i == row) continue;
+      const double factor = a[i][col];
+      if (std::abs(factor) < kTol) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        a[i][j] -= factor * a[row][j];
+      }
+      b[i] -= factor * b[row];
+    }
+    basis[row] = col;
+  }
+};
+
+/// Runs primal simplex with Bland's rule on the given cost vector
+/// (maximize). `allowed[j]` excludes columns (used to bar artificials in
+/// phase 2). Returns status.
+SolveStatus run_simplex(Tableau& t, const std::vector<double>& cost,
+                        const std::vector<bool>& allowed) {
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    // Reduced costs r_j = c_j - c_B' * column_j.
+    std::size_t entering = t.cols;
+    for (std::size_t j = 0; j < t.cols; ++j) {
+      if (!allowed[j]) continue;
+      double r = cost[j];
+      for (std::size_t i = 0; i < t.rows; ++i) {
+        const double cb = cost[t.basis[i]];
+        if (cb != 0.0) r -= cb * t.a[i][j];
+      }
+      if (r > kTol) {
+        entering = j;  // Bland: first improving index
+        break;
+      }
+    }
+    if (entering == t.cols) return SolveStatus::kOptimal;
+
+    // Ratio test (Bland tie-break on smallest basis variable index).
+    std::size_t leaving_row = t.rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.rows; ++i) {
+      if (t.a[i][entering] > kTol) {
+        const double ratio = t.b[i] / t.a[i][entering];
+        if (ratio < best_ratio - kTol ||
+            (ratio < best_ratio + kTol &&
+             (leaving_row == t.rows ||
+              t.basis[i] < t.basis[leaving_row]))) {
+          best_ratio = ratio;
+          leaving_row = i;
+        }
+      }
+    }
+    if (leaving_row == t.rows) return SolveStatus::kUnbounded;
+    t.pivot(leaving_row, entering);
+  }
+  return SolveStatus::kIterationLimit;
+}
+
+}  // namespace
+
+Constraint& Problem::add_constraint(Relation relation, double rhs) {
+  Constraint c;
+  c.coeffs.assign(num_vars, 0.0);
+  c.relation = relation;
+  c.rhs = rhs;
+  constraints.push_back(std::move(c));
+  return constraints.back();
+}
+
+Solution solve(const Problem& problem) {
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.constraints.size();
+  assert(problem.objective.size() == n);
+
+  // Count auxiliary columns.
+  std::size_t num_slack = 0;
+  for (const Constraint& c : problem.constraints) {
+    assert(c.coeffs.size() == n);
+    // After rhs normalization (b >= 0), <= rows get a slack, >= rows get a
+    // surplus; = rows get none. All non-<= rows get an artificial; <= rows
+    // start feasible with their slack basic.
+    if (c.relation != Relation::kEqual) ++num_slack;
+  }
+
+  Tableau t;
+  t.rows = m;
+  // Layout: [structural n][slack/surplus num_slack][artificial, up to m]
+  std::vector<std::size_t> artificial_cols;
+  t.cols = n + num_slack;  // artificials appended below
+  t.a.assign(m, {});
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, 0);
+
+  // First pass: figure out final column count (artificials added for rows
+  // that are '=' or '>='-after-normalization without a basic slack).
+  struct RowPlan {
+    Relation relation = Relation::kLessEqual;
+    bool flipped = false;
+    std::size_t slack_col = std::numeric_limits<std::size_t>::max();
+  };
+  std::vector<RowPlan> plan(m);
+  std::size_t next_slack = n;
+  std::size_t artificial_needed = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Constraint& c = problem.constraints[i];
+    RowPlan& rp = plan[i];
+    rp.flipped = c.rhs < 0.0;
+    rp.relation = c.relation;
+    if (rp.flipped) {
+      // Multiply row by -1: relation flips.
+      if (c.relation == Relation::kLessEqual) {
+        rp.relation = Relation::kGreaterEqual;
+      } else if (c.relation == Relation::kGreaterEqual) {
+        rp.relation = Relation::kLessEqual;
+      }
+    }
+    if (c.relation != Relation::kEqual) {
+      rp.slack_col = next_slack++;
+    }
+    if (rp.relation != Relation::kLessEqual) ++artificial_needed;
+  }
+  const std::size_t total_cols = n + num_slack + artificial_needed;
+  t.cols = total_cols;
+
+  std::size_t next_artificial = n + num_slack;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Constraint& c = problem.constraints[i];
+    const RowPlan& rp = plan[i];
+    const double sign = rp.flipped ? -1.0 : 1.0;
+    std::vector<double> row(total_cols, 0.0);
+    for (std::size_t j = 0; j < n; ++j) row[j] = sign * c.coeffs[j];
+    t.b[i] = sign * c.rhs;
+
+    if (rp.slack_col != std::numeric_limits<std::size_t>::max()) {
+      // slack (+1) for <=, surplus (-1) for >= — in *normalized* relation.
+      row[rp.slack_col] =
+          (rp.relation == Relation::kLessEqual) ? 1.0 : -1.0;
+    }
+    if (rp.relation == Relation::kLessEqual) {
+      t.basis[i] = rp.slack_col;
+    } else {
+      const std::size_t art = next_artificial++;
+      row[art] = 1.0;
+      t.basis[i] = art;
+      artificial_cols.push_back(art);
+    }
+    t.a[i] = std::move(row);
+  }
+
+  Solution result;
+
+  // ---- Phase 1: drive artificials to zero ----
+  if (!artificial_cols.empty()) {
+    std::vector<double> cost1(total_cols, 0.0);
+    for (const std::size_t col : artificial_cols) cost1[col] = -1.0;
+    std::vector<bool> allowed(total_cols, true);
+    const SolveStatus s1 = run_simplex(t, cost1, allowed);
+    if (s1 == SolveStatus::kIterationLimit) {
+      result.status = s1;
+      return result;
+    }
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t.basis[i] >= n + num_slack) infeasibility += t.b[i];
+    }
+    if (infeasibility > 1e-6) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    // Pivot remaining zero-level artificials out of the basis when a
+    // non-artificial column with a nonzero entry exists.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t.basis[i] < n + num_slack) continue;
+      for (std::size_t j = 0; j < n + num_slack; ++j) {
+        if (std::abs(t.a[i][j]) > kTol) {
+          t.pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Phase 2: optimize the real objective ----
+  std::vector<double> cost2(total_cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) cost2[j] = problem.objective[j];
+  std::vector<bool> allowed(total_cols, true);
+  for (const std::size_t col : artificial_cols) allowed[col] = false;
+  const SolveStatus s2 = run_simplex(t, cost2, allowed);
+  if (s2 != SolveStatus::kOptimal) {
+    result.status = s2;
+    return result;
+  }
+
+  result.status = SolveStatus::kOptimal;
+  result.values.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis[i] < n) result.values[t.basis[i]] = t.b[i];
+  }
+  result.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    result.objective += problem.objective[j] * result.values[j];
+  }
+  return result;
+}
+
+}  // namespace svk::lp

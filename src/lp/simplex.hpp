@@ -1,0 +1,46 @@
+// Dense two-phase primal simplex solver (from scratch).
+//
+// Solves   maximize c'x   subject to   A x {<=,=,>=} b,   x >= 0.
+// Bland's anti-cycling rule throughout; built for the small, well-scaled
+// instances the state-distribution model produces (tens of variables).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace svk::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+struct Constraint {
+  std::vector<double> coeffs;  // one per structural variable
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct Problem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  // size num_vars; maximized
+  std::vector<Constraint> constraints;
+
+  /// Convenience builders.
+  Constraint& add_constraint(Relation relation, double rhs);
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // structural variable values at the optimum
+
+  [[nodiscard]] bool optimal() const {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+/// Solves the problem. Every constraint's coeffs must have exactly
+/// `num_vars` entries.
+[[nodiscard]] Solution solve(const Problem& problem);
+
+}  // namespace svk::lp

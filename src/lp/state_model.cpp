@@ -1,0 +1,191 @@
+#include "lp/state_model.hpp"
+
+#include <cassert>
+
+namespace svk::lp {
+namespace {
+
+/// Index helpers into the 3-variables-per-edge layout.
+constexpr std::size_t kFasf = 0;
+constexpr std::size_t kSf = 1;
+constexpr std::size_t kAsf = 2;
+
+}  // namespace
+
+NodeIndex StateDistributionModel::add_node(std::string name, double t_sf,
+                                           double t_sl) {
+  assert(t_sf > 0.0 && t_sl >= t_sf);
+  nodes_.push_back(Node{std::move(name), 1.0 / t_sf, 1.0 / t_sl});
+  exit_splits_.push_back(std::nullopt);
+  return nodes_.size() - 1;
+}
+
+void StateDistributionModel::add_edge(NodeIndex from, NodeIndex to) {
+  assert(from < nodes_.size() && to < nodes_.size() && from != to);
+  edges_.push_back(Edge{from, to, std::nullopt});
+}
+
+void StateDistributionModel::mark_entry(NodeIndex node) {
+  nodes_[node].entry = true;
+}
+
+void StateDistributionModel::mark_exit(NodeIndex node) {
+  nodes_[node].exit = true;
+}
+
+void StateDistributionModel::fix_split(NodeIndex from, NodeIndex to,
+                                       double fraction) {
+  for (Edge& e : edges_) {
+    if (e.from == from && e.to == to) {
+      e.split = fraction;
+      return;
+    }
+  }
+  assert(false && "fix_split: no such edge");
+}
+
+void StateDistributionModel::fix_exit_split(NodeIndex node, double fraction) {
+  assert(nodes_[node].exit);
+  exit_splits_[node] = fraction;
+}
+
+StateDistributionResult StateDistributionModel::solve() const {
+  // Extended edge list: [source->entries][real edges][exits->sink].
+  // The imaginary source/sink endpoint marker.
+  constexpr NodeIndex kImaginary = static_cast<NodeIndex>(-1);
+  struct XEdge {
+    NodeIndex from;
+    NodeIndex to;
+    std::optional<double> split;
+  };
+  std::vector<XEdge> xedges;
+  std::vector<std::size_t> source_edges;  // indices into xedges
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].entry) {
+      source_edges.push_back(xedges.size());
+      xedges.push_back(XEdge{kImaginary, i, std::nullopt});
+    }
+  }
+  const std::size_t first_real = xedges.size();
+  for (const Edge& e : edges_) {
+    xedges.push_back(XEdge{e.from, e.to, e.split});
+  }
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].exit) {
+      xedges.push_back(XEdge{i, kImaginary, exit_splits_[i]});
+    }
+  }
+
+  const std::size_t num_edges = xedges.size();
+  Problem problem;
+  problem.num_vars = 3 * num_edges;
+  problem.objective.assign(problem.num_vars, 0.0);
+
+  auto var = [](std::size_t edge, std::size_t which) {
+    return 3 * edge + which;
+  };
+
+  // Objective: maximize not-yet-stateful inflow on source edges (all
+  // entering traffic is ASF by construction).
+  for (const std::size_t e : source_edges) {
+    problem.objective[var(e, kAsf)] = 1.0;
+  }
+
+  // Source edges carry no stateful traffic: t_FASF = 0, t_SF = 0.
+  for (const std::size_t e : source_edges) {
+    problem.add_constraint(Relation::kEqual, 0.0)
+        .coeffs[var(e, kFasf)] = 1.0;
+    problem.add_constraint(Relation::kEqual, 0.0).coeffs[var(e, kSf)] = 1.0;
+  }
+
+  // Exit (to-sink) edges must carry no not-yet-stateful traffic.
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    if (xedges[e].to == kImaginary) {
+      problem.add_constraint(Relation::kEqual, 0.0)
+          .coeffs[var(e, kAsf)] = 1.0;
+    }
+  }
+
+  // Per-node constraints.
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    std::vector<std::size_t> in_edges;
+    std::vector<std::size_t> out_edges;
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      if (xedges[e].to == i) in_edges.push_back(e);
+      if (xedges[e].from == i) out_edges.push_back(e);
+    }
+
+    // FASF conservation (paper eq. 2): in(FASF + SF) = out(FASF).
+    {
+      Constraint& c = problem.add_constraint(Relation::kEqual, 0.0);
+      for (const std::size_t e : in_edges) {
+        c.coeffs[var(e, kFasf)] += 1.0;
+        c.coeffs[var(e, kSf)] += 1.0;
+      }
+      for (const std::size_t e : out_edges) {
+        c.coeffs[var(e, kFasf)] -= 1.0;
+      }
+    }
+    // ASF conservation (paper eq. 3): in(ASF) = out(SF + ASF).
+    {
+      Constraint& c = problem.add_constraint(Relation::kEqual, 0.0);
+      for (const std::size_t e : in_edges) {
+        c.coeffs[var(e, kAsf)] += 1.0;
+      }
+      for (const std::size_t e : out_edges) {
+        c.coeffs[var(e, kSf)] -= 1.0;
+        c.coeffs[var(e, kAsf)] -= 1.0;
+      }
+    }
+    // CPU feasibility (paper eq. 4): alpha*SF + beta*(ASF + FASF) <= 1.
+    {
+      Constraint& c = problem.add_constraint(Relation::kLessEqual, 1.0);
+      for (const std::size_t e : out_edges) {
+        c.coeffs[var(e, kSf)] += nodes_[i].alpha;
+        c.coeffs[var(e, kAsf)] += nodes_[i].beta;
+        c.coeffs[var(e, kFasf)] += nodes_[i].beta;
+      }
+    }
+    // Routing constraints: t_e = phi_e * t_i for constrained out-edges.
+    for (const std::size_t e : out_edges) {
+      if (!xedges[e].split) continue;
+      Constraint& c = problem.add_constraint(Relation::kEqual, 0.0);
+      for (const std::size_t which : {kFasf, kSf, kAsf}) {
+        c.coeffs[var(e, which)] += 1.0;
+      }
+      for (const std::size_t in : in_edges) {
+        for (const std::size_t which : {kFasf, kSf, kAsf}) {
+          c.coeffs[var(in, which)] -= *xedges[e].split;
+        }
+      }
+    }
+  }
+
+  const Solution solution = lp::solve(problem);
+
+  StateDistributionResult result;
+  result.status = solution.status;
+  if (!solution.optimal()) return result;
+
+  result.max_throughput = solution.objective;
+  result.node_stateful.assign(nodes_.size(), 0.0);
+  result.node_load.assign(nodes_.size(), 0.0);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    EdgeFlows flows;
+    flows.from = xedges[e].from;
+    flows.to = xedges[e].to;
+    flows.fasf = solution.values[var(e, kFasf)];
+    flows.sf = solution.values[var(e, kSf)];
+    flows.asf = solution.values[var(e, kAsf)];
+    if (e >= first_real || xedges[e].from == kImaginary) {
+      result.edges.push_back(flows);
+    }
+    if (flows.from != kImaginary) {
+      result.node_stateful[flows.from] += flows.sf;
+      result.node_load[flows.from] += flows.total();
+    }
+  }
+  return result;
+}
+
+}  // namespace svk::lp

@@ -1,0 +1,91 @@
+// The paper's Section 4.1 optimization formulation.
+//
+// Builds, for an arbitrary proxy topology, the LP that maximizes admitted
+// call rate subject to (a) flow conservation of already-stateful (FASF) and
+// not-yet-stateful (ASF) traffic, (b) every call being handled statefully
+// at exactly one node before it exits, and (c) per-node CPU feasibility
+// alpha*SF + beta*SL <= 1. Optional routing constraints fix the fractional
+// split of a node's input across its outgoing edges (t_id = phi_id * t_i).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace svk::lp {
+
+using NodeIndex = std::size_t;
+
+/// Per-edge flow split at the optimum.
+struct EdgeFlows {
+  NodeIndex from;
+  NodeIndex to;
+  double fasf = 0.0;  // stateful before reaching `from`
+  double sf = 0.0;    // `from` maintains state for these
+  double asf = 0.0;   // still stateless when leaving `from`
+
+  [[nodiscard]] double total() const { return fasf + sf + asf; }
+};
+
+struct StateDistributionResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double max_throughput = 0.0;        // calls/second into the system
+  std::vector<EdgeFlows> edges;       // all real edges (source/sink incl.)
+  std::vector<double> node_stateful;  // SF rate maintained per node
+  std::vector<double> node_load;      // total rate through each node
+
+  [[nodiscard]] bool optimal() const {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+class StateDistributionModel {
+ public:
+  /// Adds a proxy node with stateful/stateless saturation thresholds (cps).
+  NodeIndex add_node(std::string name, double t_sf, double t_sl);
+
+  /// Adds a directed edge between proxies.
+  void add_edge(NodeIndex from, NodeIndex to);
+
+  /// Marks a node as an entry (receives external call load).
+  void mark_entry(NodeIndex node);
+
+  /// Marks a node as an exit (calls leave the system after it).
+  void mark_exit(NodeIndex node);
+
+  /// Routing constraint: the flow on edge (from->to) is exactly `fraction`
+  /// of the node's total input (the paper's phi_id). Exit flow counts as an
+  /// implicit edge to the sink; use fix_exit_split for it.
+  void fix_split(NodeIndex from, NodeIndex to, double fraction);
+  void fix_exit_split(NodeIndex node, double fraction);
+
+  [[nodiscard]] StateDistributionResult solve() const;
+
+  [[nodiscard]] const std::string& node_name(NodeIndex node) const {
+    return nodes_[node].name;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    double alpha;
+    double beta;
+    bool entry = false;
+    bool exit = false;
+  };
+  struct Edge {
+    NodeIndex from;
+    NodeIndex to;
+    std::optional<double> split;  // phi for routing constraint
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::optional<double>> exit_splits_;
+};
+
+}  // namespace svk::lp

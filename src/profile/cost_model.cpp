@@ -1,0 +1,223 @@
+#include "profile/cost_model.hpp"
+
+#include <cassert>
+
+namespace svk::profile {
+namespace {
+
+using enum CostBlock;
+
+/// Builds an application-level cost vector (no transport).
+CostVector app(double parsing, double memory, double lumping, double routing,
+               double hashing, double lookup, double state, double auth,
+               double other) {
+  CostVector v;
+  v[kParsing] = parsing;
+  v[kMemory] = memory;
+  v[kLumping] = lumping;
+  v[kRouting] = routing;
+  v[kHashing] = hashing;
+  v[kLookup] = lookup;
+  v[kState] = state;
+  v[kAuth] = auth;
+  v[kOther] = other;
+  return v;
+}
+
+CostVector with_transport(CostVector v, int message_events) {
+  v[kTransport] = CpuCostModel::kTransportPerMessage * message_events;
+  return v;
+}
+
+/// Application cost of forwarding one message, by mode and kind. The
+/// per-call sums over {INVITE, 180, 200-INV, ACK, BYE, 200-BYE} (+ the
+/// generated 100 in stateful modes) reproduce the Figure 3 bar heights:
+/// 362 / 412 / 707 / 803 / 983 events.
+CostVector forward_app(HandlingMode mode, MsgKind kind) {
+  switch (mode) {
+    case HandlingMode::kStatelessNoLookup:
+      switch (kind) {
+        case MsgKind::kInvite:    return app(38, 10, 8, 20, 0, 0, 0, 0, 16);
+        case MsgKind::kInvite200: return app(22, 8, 5, 8, 0, 0, 0, 0, 12);
+        case MsgKind::kAck:       return app(18, 6, 4, 8, 0, 0, 0, 0, 10);
+        case MsgKind::kBye:       return app(28, 10, 4, 8, 0, 0, 0, 0, 10);
+        case MsgKind::kBye200:    return app(22, 8, 4, 8, 0, 0, 0, 0, 12);
+        case MsgKind::kProvisional:
+        case MsgKind::kOther:     return app(22, 8, 5, 8, 0, 0, 0, 0, 12);
+      }
+      break;
+    case HandlingMode::kStateless:
+      switch (kind) {
+        case MsgKind::kInvite:    return app(40, 12, 8, 20, 8, 38, 0, 0, 16);
+        case MsgKind::kInvite200: return app(22, 8, 5, 8, 0, 0, 0, 0, 12);
+        case MsgKind::kAck:       return app(18, 6, 4, 8, 0, 0, 0, 0, 10);
+        case MsgKind::kBye:       return app(28, 10, 4, 8, 0, 0, 0, 0, 10);
+        case MsgKind::kBye200:    return app(22, 8, 4, 8, 0, 0, 0, 0, 12);
+        case MsgKind::kProvisional:
+        case MsgKind::kOther:     return app(22, 8, 5, 8, 0, 0, 0, 0, 12);
+      }
+      break;
+    case HandlingMode::kTransactionStateful:
+      switch (kind) {
+        case MsgKind::kInvite:    return app(60, 35, 9, 20, 20, 38, 50, 0, 20);
+        case MsgKind::kInvite200: return app(28, 14, 5, 8, 5, 0, 17, 0, 12);
+        case MsgKind::kAck:       return app(22, 8, 4, 8, 2, 0, 5, 0, 10);
+        case MsgKind::kBye:       return app(35, 22, 4, 8, 6, 0, 45, 0, 10);
+        case MsgKind::kBye200:    return app(22, 13, 4, 8, 2, 0, 20, 0, 10);
+        case MsgKind::kProvisional:
+        case MsgKind::kOther:     return app(28, 12, 5, 8, 5, 0, 8, 0, 12);
+      }
+      break;
+    case HandlingMode::kDialogStateful:
+      switch (kind) {
+        case MsgKind::kInvite:    return app(68, 40, 9, 20, 20, 38, 75, 0, 22);
+        case MsgKind::kInvite200: return app(31, 17, 5, 8, 5, 0, 27, 0, 12);
+        case MsgKind::kAck:       return app(24, 10, 4, 8, 2, 0, 9, 0, 10);
+        case MsgKind::kBye:       return app(39, 26, 4, 8, 6, 0, 57, 0, 10);
+        case MsgKind::kBye200:    return app(22, 15, 4, 8, 2, 0, 28, 0, 12);
+        case MsgKind::kProvisional:
+        case MsgKind::kOther:     return app(28, 12, 5, 8, 5, 0, 8, 0, 12);
+      }
+      break;
+    case HandlingMode::kDialogStatefulAuth:
+      switch (kind) {
+        case MsgKind::kInvite:    return app(74, 40, 9, 20, 20, 38, 75, 110, 26);
+        case MsgKind::kInvite200: return app(31, 17, 5, 8, 5, 0, 27, 0, 12);
+        case MsgKind::kAck:       return app(24, 10, 4, 8, 2, 0, 9, 0, 10);
+        case MsgKind::kBye:       return app(42, 26, 4, 8, 6, 0, 57, 55, 12);
+        case MsgKind::kBye200:    return app(22, 15, 4, 8, 2, 0, 28, 0, 12);
+        case MsgKind::kProvisional:
+        case MsgKind::kOther:     return app(28, 12, 5, 8, 5, 0, 8, 0, 12);
+      }
+      break;
+  }
+  assert(false && "unreachable");
+  return {};
+}
+
+bool is_stateful(HandlingMode mode) {
+  return mode == HandlingMode::kTransactionStateful ||
+         mode == HandlingMode::kDialogStateful ||
+         mode == HandlingMode::kDialogStatefulAuth;
+}
+
+constexpr std::array<MsgKind, 6> kCallMessages = {
+    MsgKind::kInvite, MsgKind::kProvisional, MsgKind::kInvite200,
+    MsgKind::kAck,    MsgKind::kBye,         MsgKind::kBye200,
+};
+
+}  // namespace
+
+std::string_view to_string(CostBlock block) {
+  switch (block) {
+    case kTransport: return "Transport";
+    case kParsing: return "Parsing";
+    case kMemory: return "Memory";
+    case kLumping: return "Lumping";
+    case kRouting: return "Routing";
+    case kHashing: return "Hashing";
+    case kLookup: return "Lookup";
+    case kState: return "State";
+    case kAuth: return "Authentication";
+    case kOther: return "Others";
+    case CostBlock::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(HandlingMode mode) {
+  switch (mode) {
+    case HandlingMode::kStatelessNoLookup: return "No-Lookup";
+    case HandlingMode::kStateless: return "Stateless";
+    case HandlingMode::kTransactionStateful: return "Tran-SF";
+    case HandlingMode::kDialogStateful: return "Dialog-SF";
+    case HandlingMode::kDialogStatefulAuth: return "Authentication";
+  }
+  return "?";
+}
+
+double CostVector::total() const {
+  double sum = 0.0;
+  for (const double e : events) sum += e;
+  return sum;
+}
+
+double CostVector::application_total() const {
+  return total() - events[static_cast<std::size_t>(kTransport)];
+}
+
+CostVector& CostVector::operator+=(const CostVector& other) {
+  for (std::size_t i = 0; i < kNumCostBlocks; ++i) {
+    events[i] += other.events[i];
+  }
+  return *this;
+}
+
+MsgKind classify(const sip::Message& msg) {
+  if (msg.is_request()) {
+    switch (msg.method()) {
+      case sip::Method::kInvite: return MsgKind::kInvite;
+      case sip::Method::kAck: return MsgKind::kAck;
+      case sip::Method::kBye: return MsgKind::kBye;
+      default: return MsgKind::kOther;
+    }
+  }
+  if (sip::is_provisional(msg.status_code())) return MsgKind::kProvisional;
+  switch (msg.cseq().method) {
+    case sip::Method::kInvite: return MsgKind::kInvite200;
+    case sip::Method::kBye: return MsgKind::kBye200;
+    default: return MsgKind::kOther;
+  }
+}
+
+CostVector CpuCostModel::forward(HandlingMode mode, MsgKind kind) {
+  // One receive; the send is charged at transmission time.
+  return with_transport(forward_app(mode, kind), 1);
+}
+
+CostVector CpuCostModel::generate_100(HandlingMode mode) {
+  assert(is_stateful(mode));
+  (void)mode;
+  return app(0, 6, 3, 0, 0, 0, 5, 0, 6);
+}
+
+CostVector CpuCostModel::generate_error() {
+  return app(20, 8, 4, 0, 0, 0, 0, 0, 8);
+}
+
+CostVector CpuCostModel::absorb_retransmit() {
+  // Receive + hash-match; the replayed response send is charged at
+  // transmission time.
+  return with_transport(app(20, 0, 0, 0, 10, 0, 5, 0, 5), 1);
+}
+
+CostVector CpuCostModel::receive_only() {
+  return with_transport(app(10, 0, 0, 0, 0, 0, 0, 0, 5), 1);
+}
+
+CostVector CpuCostModel::transport_send() {
+  return with_transport(CostVector{}, 1);
+}
+
+double CpuCostModel::per_call_application_events(HandlingMode mode) {
+  double sum = 0.0;
+  for (const MsgKind kind : kCallMessages) {
+    sum += forward_app(mode, kind).total();
+  }
+  if (is_stateful(mode)) {
+    sum += generate_100(mode).application_total();
+  }
+  return sum;
+}
+
+double CpuCostModel::per_call_total_events(HandlingMode mode) {
+  const int message_events = is_stateful(mode) ? 13 : 12;
+  return per_call_application_events(mode) +
+         kTransportPerMessage * message_events;
+}
+
+double CpuCostModel::saturation_cps(HandlingMode mode, double capacity) {
+  return capacity / per_call_total_events(mode);
+}
+
+}  // namespace svk::profile

@@ -1,0 +1,30 @@
+#include "profile/profiler.hpp"
+
+#include <cstdio>
+
+namespace svk::profile {
+
+std::string CpuProfiler::format_breakdown(double calls) const {
+  std::string out;
+  char line[96];
+  // Figure 3 stacking order, bottom-up.
+  static constexpr CostBlock kOrder[] = {
+      CostBlock::kParsing, CostBlock::kMemory,  CostBlock::kLumping,
+      CostBlock::kRouting, CostBlock::kHashing, CostBlock::kLookup,
+      CostBlock::kState,   CostBlock::kAuth,    CostBlock::kOther,
+  };
+  for (const CostBlock block : kOrder) {
+    double value = totals_[block];
+    if (calls > 0.0) value /= calls;
+    std::snprintf(line, sizeof(line), "  %-15s %10.1f\n",
+                  std::string(to_string(block)).c_str(), value);
+    out += line;
+  }
+  double total = application_events();
+  if (calls > 0.0) total /= calls;
+  std::snprintf(line, sizeof(line), "  %-15s %10.1f\n", "TOTAL", total);
+  out += line;
+  return out;
+}
+
+}  // namespace svk::profile

@@ -1,0 +1,91 @@
+#include "proxy/auth.hpp"
+
+#include "common/md5.hpp"
+
+namespace svk::proxy {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  return s;
+}
+
+/// Extracts a quoted parameter value, e.g. username="hal".
+std::optional<std::string> quoted_param(std::string_view params,
+                                        std::string_view name) {
+  std::string needle = std::string(name) + "=\"";
+  const auto pos = params.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const auto start = pos + needle.size();
+  const auto end = params.find('"', start);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(params.substr(start, end - start));
+}
+
+}  // namespace
+
+std::optional<DigestCredentials> parse_digest(std::string_view value) {
+  value = trim(value);
+  if (!value.starts_with("Digest ")) return std::nullopt;
+  const std::string_view params = value.substr(7);
+
+  DigestCredentials creds;
+  auto get = [&](std::string_view name, std::string& out) {
+    auto v = quoted_param(params, name);
+    if (!v) return false;
+    out = std::move(*v);
+    return true;
+  };
+  if (!get("username", creds.username) || !get("realm", creds.realm) ||
+      !get("nonce", creds.nonce) || !get("uri", creds.uri) ||
+      !get("response", creds.response)) {
+    return std::nullopt;
+  }
+  return creds;
+}
+
+void DigestAuthenticator::add_user(const std::string& username,
+                                   const std::string& password) {
+  passwords_[username] = password;
+}
+
+std::string DigestAuthenticator::compute_response(
+    const std::string& username, const std::string& realm,
+    const std::string& password, const std::string& nonce,
+    const std::string& method, const std::string& uri) {
+  const std::string ha1 = Md5::hex(username + ":" + realm + ":" + password);
+  const std::string ha2 = Md5::hex(method + ":" + uri);
+  return Md5::hex(ha1 + ":" + nonce + ":" + ha2);
+}
+
+std::string DigestAuthenticator::make_authorization(
+    const std::string& username, const std::string& realm,
+    const std::string& password, const std::string& nonce,
+    const std::string& method, const std::string& uri) {
+  const std::string response =
+      compute_response(username, realm, password, nonce, method, uri);
+  return "Digest username=\"" + username + "\", realm=\"" + realm +
+         "\", nonce=\"" + nonce + "\", uri=\"" + uri + "\", response=\"" +
+         response + "\"";
+}
+
+bool DigestAuthenticator::verify(const sip::Message& req) const {
+  const auto header = req.header(kProxyAuthorizationHeader);
+  if (!header) return false;
+  const auto creds = parse_digest(*header);
+  if (!creds) return false;
+  if (creds->realm != realm_ || creds->nonce != nonce_) return false;
+  const auto it = passwords_.find(creds->username);
+  if (it == passwords_.end()) return false;
+  const std::string expected =
+      compute_response(creds->username, realm_, it->second, nonce_,
+                       std::string(sip::to_string(req.method())), creds->uri);
+  return expected == creds->response;
+}
+
+std::string DigestAuthenticator::challenge() const {
+  return "Digest realm=\"" + realm_ + "\", nonce=\"" + nonce_ + "\"";
+}
+
+}  // namespace svk::proxy

@@ -1,0 +1,33 @@
+// Host-name to network-address resolution — the DNS of the simulated
+// testbed. Every element (proxy, UAC, UAS) registers its hostname; Via
+// sent-by values and contact hosts resolve through here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace svk::proxy {
+
+class HostRegistry {
+ public:
+  /// Binds a hostname to its network address (replacing any previous one).
+  void add(std::string host, Address address) {
+    hosts_[std::move(host)] = address;
+  }
+
+  /// Resolves a hostname; nullopt when unknown.
+  [[nodiscard]] std::optional<Address> resolve(std::string_view host) const {
+    const auto it = hosts_.find(std::string(host));
+    if (it == hosts_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, Address> hosts_;
+};
+
+}  // namespace svk::proxy

@@ -1,0 +1,26 @@
+#include "proxy/location.hpp"
+
+#include <utility>
+
+namespace svk::proxy {
+
+void LocationService::register_binding(const std::string& aor,
+                                       sip::Uri contact,
+                                       SimTime expires_at) {
+  bindings_[aor] = Binding{std::move(contact), expires_at};
+}
+
+void LocationService::unregister(const std::string& aor) {
+  bindings_.erase(aor);
+}
+
+std::optional<Binding> LocationService::lookup(const std::string& aor,
+                                               SimTime now) const {
+  ++queries_;
+  const auto it = bindings_.find(aor);
+  if (it == bindings_.end()) return std::nullopt;
+  if (it->second.expires_at < now) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace svk::proxy

@@ -1,0 +1,46 @@
+// Location service (RFC 3261 10): the URI -> current contact binding
+// database an exit proxy consults to reach the callee's device. The paper's
+// "Lookup" cost block is the query against this service (OpenSER's usrloc
+// table).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/sim_time.hpp"
+#include "sip/uri.hpp"
+
+namespace svk::proxy {
+
+/// One registered binding: where the AOR's device currently is.
+struct Binding {
+  sip::Uri contact;
+  /// Simulated time after which the binding is gone (RFC 3261 10.2.4);
+  /// SimTime::max() = never expires (out-of-band provisioning).
+  SimTime expires_at = SimTime::max();
+};
+
+class LocationService {
+ public:
+  /// Registers (or replaces) the binding for `aor` ("user@domain").
+  void register_binding(const std::string& aor, sip::Uri contact,
+                        SimTime expires_at = SimTime::max());
+
+  void unregister(const std::string& aor);
+
+  /// Looks up the current contact for the given address-of-record.
+  /// Bindings whose expiry has passed `now` are treated as absent.
+  [[nodiscard]] std::optional<Binding> lookup(const std::string& aor,
+                                              SimTime now = SimTime{}) const;
+
+  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+  [[nodiscard]] std::uint64_t query_count() const { return queries_; }
+
+ private:
+  std::unordered_map<std::string, Binding> bindings_;
+  mutable std::uint64_t queries_{0};
+};
+
+}  // namespace svk::proxy

@@ -1,0 +1,112 @@
+// State-handling policy interface.
+//
+// The proxy core asks its policy, per transaction-creating request, whether
+// to handle it statefully or statelessly. Static policies (today's OpenSER
+// configuration) answer unconditionally; the SERvartuka controller
+// (src/core) answers from its dynamic myshare computation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "profile/cost_model.hpp"
+#include "proxy/routing.hpp"
+
+namespace svk::proxy {
+
+enum class StateDecision { kStateless, kStateful };
+
+/// Everything the policy may inspect about a request being routed.
+struct RequestContext {
+  std::size_t path_index = 0;      // downstream path (see RouteTable)
+  bool delegable = false;          // path leads to another proxy
+  bool already_stateful = false;   // an upstream node took state (X-Stateful)
+  profile::MsgKind kind = profile::MsgKind::kInvite;
+};
+
+class StatePolicy {
+ public:
+  virtual ~StatePolicy() = default;
+
+  /// Decides how to handle one new transaction-creating request. Called
+  /// once per such request (retransmissions are absorbed before reaching
+  /// the policy). Implementations update their own counters here.
+  [[nodiscard]] virtual StateDecision decide(const RequestContext& ctx) = 0;
+
+  /// Periodic window processing (Algorithm 2). Only called when
+  /// tick_period() is non-zero.
+  virtual void on_tick(SimTime now) { (void)now; }
+  [[nodiscard]] virtual SimTime tick_period() const { return SimTime{}; }
+
+  /// A downstream neighbor on `path_index` signalled overload (`on`) with
+  /// the stateful load it froze at (`c_asf_rate`, requests/second), or
+  /// recovery (`!on`).
+  virtual void on_overload_signal(std::size_t path_index, bool on,
+                                  double c_asf_rate) {
+    (void)path_index;
+    (void)on;
+    (void)c_asf_rate;
+  }
+
+  /// Paths of the owning proxy, indexed by path_index; called once before
+  /// traffic flows.
+  virtual void register_paths(const std::vector<PathInfo>& paths) {
+    (void)paths;
+  }
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// For policies whose answer never varies (the static baselines): lets
+  /// the proxy cost messages that carry no per-request decision (ACKs,
+  /// responses) at the configured static mode. Dynamic policies return
+  /// nullopt and those messages are costed at the stateless tables.
+  [[nodiscard]] virtual std::optional<StateDecision> static_decision() const {
+    return std::nullopt;
+  }
+
+  /// Set by the owning proxy: emits an overload signal (`on`, frozen
+  /// stateful rate) to all upstream proxies.
+  std::function<void(bool on, double c_asf_rate)> send_overload;
+
+  /// Filled by the owning proxy just before each on_tick: mean CPU
+  /// utilization over the last window (-1 when unknown) and the current
+  /// CPU backlog as a fraction of the admission bound. Policies may close
+  /// the loop on these to correct model drift.
+  double observed_utilization = -1.0;
+  double observed_backlog_fraction = 0.0;
+};
+
+/// Static policy: handle every request statefully (OpenSER configured
+/// stateful — cases (i)/(ii) of the paper's Section 4 discussion).
+class AlwaysStateful final : public StatePolicy {
+ public:
+  [[nodiscard]] StateDecision decide(const RequestContext&) override {
+    return StateDecision::kStateful;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "static-stateful";
+  }
+  [[nodiscard]] std::optional<StateDecision> static_decision() const override {
+    return StateDecision::kStateful;
+  }
+};
+
+/// Static policy: handle every request statelessly.
+class AlwaysStateless final : public StatePolicy {
+ public:
+  [[nodiscard]] StateDecision decide(const RequestContext&) override {
+    return StateDecision::kStateless;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "static-stateless";
+  }
+  [[nodiscard]] std::optional<StateDecision> static_decision() const override {
+    return StateDecision::kStateless;
+  }
+};
+
+}  // namespace svk::proxy

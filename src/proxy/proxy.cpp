@@ -1,0 +1,603 @@
+#include "proxy/proxy.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "sip/parser.hpp"
+
+namespace svk::proxy {
+namespace {
+
+using profile::CostVector;
+using profile::CpuCostModel;
+using profile::HandlingMode;
+using profile::MsgKind;
+
+bool is_transaction_creating(const sip::Message& msg) {
+  return msg.is_request() && msg.method() != sip::Method::kAck;
+}
+
+}  // namespace
+
+ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
+                         const HostRegistry& registry,
+                         std::shared_ptr<LocationService> location,
+                         RouteTable routes,
+                         std::unique_ptr<StatePolicy> policy,
+                         ProxyConfig config)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      location_(std::move(location)),
+      routes_(std::move(routes)),
+      policy_(std::move(policy)),
+      config_(std::move(config)),
+      cpu_(sim, sim::CpuQueueConfig{config_.cpu_capacity,
+                                    config_.max_queue_delay}),
+      txns_(sim, config_.timers),
+      auth_(config_.auth_realm.empty() ? config_.host : config_.auth_realm,
+            config_.auth_nonce.empty() ? "nonce-" + config_.host
+                                       : config_.auth_nonce),
+      branches_(config_.address.value()) {
+  assert(policy_ != nullptr);
+  policy_->register_paths(routes_.paths());
+  policy_->send_overload = [this](bool on, double rate) {
+    send_overload_signal(on, rate);
+  };
+  if (policy_->tick_period() > SimTime{}) {
+    tick_probe_ = std::make_unique<sim::UtilizationProbe>(cpu_, sim_);
+    policy_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, policy_->tick_period(), [this] {
+          policy_->observed_utilization = tick_probe_->utilization();
+          tick_probe_->restart();
+          const double bound = config_.max_queue_delay.to_seconds();
+          policy_->observed_backlog_fraction =
+              bound > 0.0 ? cpu_.backlog().to_seconds() / bound : 0.0;
+          policy_->on_tick(sim_.now());
+        });
+    policy_timer_->start();
+  }
+  network_.attach(config_.address,
+                  [this](Address from, const sip::MessagePtr& msg) {
+                    on_datagram(from, msg);
+                  });
+}
+
+ProxyServer::~ProxyServer() { network_.detach(config_.address); }
+
+void ProxyServer::set_upstream_proxies(std::vector<Address> upstream) {
+  upstream_proxies_ = std::move(upstream);
+}
+
+profile::HandlingMode ProxyServer::mode_for(StateDecision decision) const {
+  return decision == StateDecision::kStateful ? config_.stateful_mode
+                                              : config_.stateless_mode;
+}
+
+bool ProxyServer::is_control(const sip::Message& msg) const {
+  return msg.is_request() && msg.method() == sip::Method::kOptions &&
+         msg.header(kOverloadHeader).has_value();
+}
+
+void ProxyServer::on_datagram(Address from, const sip::MessagePtr& msg) {
+  if (msg->is_request()) {
+    if (is_control(*msg)) {
+      // Control plane: cheap, never rejected (a saturated node must still
+      // hear recovery signals).
+      const CostVector cost = CpuCostModel::receive_only();
+      charge(cost);
+      cpu_.submit_urgent(cost.total(),
+                         [this, from, msg] { handle_control(from, *msg); });
+      return;
+    }
+    admit_request(from, msg);
+  } else {
+    admit_response(from, msg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+void ProxyServer::admit_request(Address from, const sip::MessagePtr& msg) {
+  ++stats_.requests_in;
+
+  // Retransmission of a request we hold state for: absorb (the paper's key
+  // stateful benefit — the retransmission never propagates downstream).
+  if (txns_.find_server(*msg) != nullptr) {
+    // Absorbing is cheap and protects downstream: never shed it.
+    const CostVector cost = CpuCostModel::absorb_retransmit();
+    charge(cost);
+    ++stats_.absorbed_retransmits;
+    cpu_.submit_urgent(cost.total(), [this, msg] {
+      if (auto* txn = txns_.find_server(*msg)) {
+        txn->receive_request(msg);
+      }
+      // If the transaction ended in the queueing gap the retransmission is
+      // simply dropped; the far end's timers cover it.
+    });
+    return;
+  }
+
+  if (msg->method() == sip::Method::kCancel) {
+    handle_cancel(from, msg);
+    return;
+  }
+
+  plan_new_request(from, msg);
+}
+
+void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
+  // --- Routing --------------------------------------------------------
+  sip::Message fwd = sip::clone(*msg);
+  fwd.decrement_max_forwards();
+  if (fwd.max_forwards() <= 0) {
+    respond_urgent(*msg, sip::status::kTooManyHops, from);
+    return;
+  }
+
+  // Route-set handling (RFC 3261 16.4): strip our own Route entry, then
+  // prefer the remaining route set over request-URI routing.
+  if (!fwd.routes().empty() && fwd.routes().front().host() == config_.host) {
+    fwd.routes().erase(fwd.routes().begin());
+  }
+
+  Address target;
+  std::size_t path_index = 0;
+  bool delegable = false;
+  if (!fwd.routes().empty()) {
+    const auto resolved = registry_.resolve(fwd.routes().front().host());
+    if (!resolved) {
+      ++stats_.route_failures;
+      respond_urgent(*msg, sip::status::kNotFound, from);
+      return;
+    }
+    target = *resolved;
+    if (const auto path = routes_.path_of(target)) {
+      path_index = *path;
+      delegable = routes_.paths()[path_index].delegable;
+    }
+  } else {
+    const auto decision = routes_.route(fwd.request_uri());
+    if (!decision) {
+      ++stats_.route_failures;
+      respond_urgent(*msg, sip::status::kNotFound, from);
+      return;
+    }
+    path_index = decision->path_index;
+    delegable = !decision->local;
+    if (decision->local) {
+      if (msg->method() == sip::Method::kRegister) {
+        // We are the registrar for this domain.
+        handle_register(from, msg);
+        return;
+      }
+      const auto resolved = resolve_local_target(fwd.request_uri());
+      if (!resolved) {
+        ++stats_.route_failures;
+        respond_urgent(*msg, sip::status::kNotFound, from);
+        return;
+      }
+      target = resolved->address;
+      if (resolved->retarget) {
+        // RFC 3261 16.5: the exit proxy replaces the request-URI with the
+        // registered contact.
+        fwd.set_request_uri(*resolved->retarget);
+      }
+    } else {
+      target = decision->next_hop;
+    }
+  }
+
+  // --- State decision -----------------------------------------------------
+  const MsgKind kind = profile::classify(*msg);
+  if (!is_transaction_creating(*msg)) {
+    // ACK travels end-to-end with no transaction; forward statelessly,
+    // costed at the policy's static mode when one exists.
+    const HandlingMode mode =
+        mode_for(policy_->static_decision().value_or(StateDecision::kStateless));
+    CostVector cost = CpuCostModel::forward(mode, kind);
+    if (config_.stateful_mode == HandlingMode::kDialogStateful ||
+        config_.stateful_mode == HandlingMode::kDialogStatefulAuth) {
+      (void)dialogs_.match(*msg);  // dialog accounting for in-dialog ACK
+    }
+    fwd.push_via(sip::Via{"SIP/2.0/UDP", config_.host,
+                          sip::stateless_branch(msg->top_via().branch,
+                                                config_.host)});
+    auto fwd_ptr = std::move(fwd).finish();
+    // In-call messages are never shed at admission: dropping an ACK wastes
+    // a whole established call (overload control sheds *new* work first).
+    charge(cost);
+    ++stats_.forwarded_stateless;
+    cpu_.submit_urgent(cost.total(), [this, fwd_ptr, target] {
+      execute_stateless_forward(fwd_ptr, target);
+    });
+    return;
+  }
+
+  RequestContext ctx;
+  ctx.path_index = path_index;
+  ctx.delegable = delegable;
+  ctx.already_stateful = msg->header(kStatefulMarkHeader).has_value();
+  ctx.kind = kind;
+  const StateDecision decision = policy_->decide(ctx);
+
+  CostVector cost = CpuCostModel::forward(mode_for(decision), kind);
+  const bool stateful = decision == StateDecision::kStateful;
+
+  // --- Authentication -----------------------------------------------------
+  // With AuthScope::kWhenStateful, verification travels with the state
+  // decision: exactly the node accountable for the call checks credentials
+  // (already-stateful traffic was verified upstream).
+  const bool auth_applies =
+      config_.authenticate &&
+      (msg->method() == sip::Method::kInvite ||
+       msg->method() == sip::Method::kBye) &&
+      (config_.auth_scope == ProxyConfig::AuthScope::kAll ||
+       (stateful && !ctx.already_stateful));
+  if (auth_applies && !auth_.verify(*msg)) {
+    ++stats_.auth_failures;
+    const int code = msg->header(kProxyAuthorizationHeader)
+                         ? sip::status::kForbidden
+                         : sip::status::kProxyAuthRequired;
+    respond_urgent(*msg, code, from);
+    return;
+  }
+  if (stateful && msg->method() == sip::Method::kInvite) {
+    cost += CpuCostModel::generate_100(config_.stateful_mode);
+  }
+
+  const bool dialog_mode =
+      config_.stateful_mode == HandlingMode::kDialogStateful ||
+      config_.stateful_mode == HandlingMode::kDialogStatefulAuth;
+
+  if (stateful) {
+    fwd.push_via(sip::Via{"SIP/2.0/UDP", config_.host, branches_.next()});
+    fwd.set_header(std::string(kStatefulMarkHeader), config_.host);
+    if (dialog_mode) {
+      if (msg->method() == sip::Method::kInvite) {
+        dialogs_.create_early(fwd, sim_.now());
+        fwd.record_routes().insert(fwd.record_routes().begin(),
+                                   sip::Uri("", config_.host));
+      } else {
+        (void)dialogs_.match(*msg);
+      }
+    }
+  } else {
+    fwd.push_via(sip::Via{"SIP/2.0/UDP", config_.host,
+                          sip::stateless_branch(msg->top_via().branch,
+                                                config_.host)});
+  }
+
+  auto fwd_ptr = std::move(fwd).finish();
+  auto action = [this, from, msg, fwd_ptr, target, stateful] {
+    if (stateful) {
+      execute_stateful_forward(from, msg, fwd_ptr, target);
+    } else {
+      execute_stateless_forward(fwd_ptr, target);
+    }
+  };
+  // Overload control sheds session-INITIATING work only: a rejected INVITE
+  // costs one failed setup, while shedding an in-dialog BYE would waste an
+  // entire established call's worth of completed work.
+  if (msg->method() == sip::Method::kInvite) {
+    if (!cpu_.submit(cost.total(), std::move(action))) {
+      ++stats_.rejected_busy;
+      respond_urgent(*msg, sip::status::kServerError, from);
+      return;
+    }
+  } else {
+    cpu_.submit_urgent(cost.total(), std::move(action));
+  }
+  charge(cost);
+  if (stateful) {
+    ++stats_.forwarded_stateful;
+  } else {
+    ++stats_.forwarded_stateless;
+  }
+}
+
+void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
+                                           sip::MessagePtr fwd,
+                                           Address target) {
+  // A retransmission may have raced us through admission before the server
+  // transaction existed; if one exists now, absorb instead of duplicating.
+  if (auto* existing = txns_.find_server(*msg)) {
+    existing->receive_request(msg);
+    ++stats_.absorbed_retransmits;
+    return;
+  }
+
+  const sip::TransactionKey server_key = sip::server_key(*msg);
+  txn::ServerCallbacks server_callbacks;
+  if (msg->method() == sip::Method::kInvite) {
+    invite_relays_[server_key] = {fwd, target};
+    server_callbacks.on_terminated = [this, server_key] {
+      invite_relays_.erase(server_key);
+    };
+  }
+  auto& server_txn =
+      txns_.create_server(msg, sender_to(from), std::move(server_callbacks));
+
+  if (msg->method() == sip::Method::kInvite) {
+    auto trying = sip::Message::response(*msg, sip::status::kTrying);
+    trying.set_header("X-Stateful-At", config_.host);
+    server_txn.respond(std::move(trying).finish());
+    ++stats_.generated_100;
+  }
+
+  const bool dialog_mode =
+      config_.stateful_mode == HandlingMode::kDialogStateful ||
+      config_.stateful_mode == HandlingMode::kDialogStatefulAuth;
+
+  txn::ClientCallbacks callbacks;
+  callbacks.on_response = [this, server_key, dialog_mode](
+                              const sip::MessagePtr& response) {
+    sip::Message up = sip::clone(*response);
+    if (up.vias().empty() || up.top_via().sent_by != config_.host) {
+      return;  // malformed; drop
+    }
+    up.pop_via();
+    if (dialog_mode && sip::is_success(response->status_code())) {
+      if (response->cseq().method == sip::Method::kInvite) {
+        dialogs_.confirm(*response);
+      } else if (response->cseq().method == sip::Method::kBye) {
+        dialogs_.terminate(dialog::DialogId::make(
+            response->call_id(), response->from().tag, response->to().tag));
+      }
+    }
+    auto up_ptr = std::move(up).finish();
+    if (auto* srv = txns_.find_server(server_key)) {
+      srv->respond(up_ptr);
+    } else {
+      forward_response_stateless(up_ptr);
+    }
+    ++stats_.responses_forwarded;
+  };
+  callbacks.on_timeout = [this, server_key, msg] {
+    ++stats_.proxy_timeouts;
+    if (auto* srv = txns_.find_server(server_key)) {
+      srv->respond(
+          sip::Message::response(*msg, sip::status::kRequestTimeout)
+              .finish());
+    }
+  };
+
+  txns_.create_client(fwd, sender_to(target), std::move(callbacks));
+}
+
+void ProxyServer::execute_stateless_forward(sip::MessagePtr msg,
+                                            Address target) {
+  send_charged(target, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+void ProxyServer::admit_response(Address from, const sip::MessagePtr& msg) {
+  (void)from;
+  ++stats_.responses_in;
+  const bool matched = txns_.find_client(*msg) != nullptr;
+  const HandlingMode mode =
+      matched
+          ? config_.stateful_mode
+          : mode_for(policy_->static_decision().value_or(
+                StateDecision::kStateless));
+  const CostVector cost = CpuCostModel::forward(mode, profile::classify(*msg));
+
+  charge(cost);
+  cpu_.submit_urgent(cost.total(), [this, msg] {
+    if (auto* client = txns_.find_client(*msg)) {
+      client->receive_response(msg);
+      return;
+    }
+    // No transaction here (we were stateless for it, or it is a
+    // retransmitted 2xx after the transaction ended): relay by Via.
+    const bool dialog_mode =
+        config_.stateful_mode == HandlingMode::kDialogStateful ||
+        config_.stateful_mode == HandlingMode::kDialogStatefulAuth;
+    if (dialog_mode && sip::is_success(msg->status_code())) {
+      if (msg->cseq().method == sip::Method::kInvite) {
+        dialogs_.confirm(*msg);
+      } else if (msg->cseq().method == sip::Method::kBye) {
+        dialogs_.terminate(dialog::DialogId::make(
+            msg->call_id(), msg->from().tag, msg->to().tag));
+      }
+    }
+    sip::Message up = sip::clone(*msg);
+    if (up.vias().empty() || up.top_via().sent_by != config_.host) {
+      return;  // not ours; drop
+    }
+    up.pop_via();
+    forward_response_stateless(std::move(up).finish());
+    ++stats_.responses_forwarded;
+  });
+}
+
+void ProxyServer::forward_response_stateless(const sip::MessagePtr& msg) {
+  if (msg->vias().empty()) return;
+  const auto target = registry_.resolve(msg->top_via().sent_by);
+  if (!target) return;
+  send_charged(*target, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Local generation, control plane, helpers
+// ---------------------------------------------------------------------------
+
+void ProxyServer::respond_urgent(const sip::Message& req, int code,
+                                 Address to) {
+  if (req.method() == sip::Method::kAck) return;  // never respond to ACK
+  const CostVector cost = CpuCostModel::generate_error();
+  charge(cost);
+  auto response = sip::Message::response(req, code).finish();
+  cpu_.submit_urgent(cost.total(),
+                     [this, response, to] { send_charged(to, response); });
+}
+
+void ProxyServer::handle_cancel(Address from, const sip::MessagePtr& msg) {
+  const CostVector cost =
+      CpuCostModel::forward(config_.stateless_mode, MsgKind::kOther);
+  charge(cost);
+  cpu_.submit_urgent(cost.total(), [this, from, msg] {
+    // The CANCEL always gets its own transaction and an immediate 200.
+    if (auto* existing = txns_.find_server(*msg)) {
+      existing->receive_request(msg);
+      return;
+    }
+    auto& cancel_txn =
+        txns_.create_server(msg, sender_to(from), txn::ServerCallbacks{});
+    cancel_txn.respond(
+        sip::Message::response(*msg, sip::status::kOk).finish());
+
+    // Did we relay the INVITE statefully? Then cancel our own downstream
+    // leg with the branch of the forwarded INVITE (RFC 3261 9.1).
+    sip::TransactionKey invite_key = sip::server_key(*msg);
+    invite_key.method = sip::Method::kInvite;
+    if (const auto relay = invite_relays_.find(invite_key);
+        relay != invite_relays_.end()) {
+      const sip::MessagePtr& fwd_invite = relay->second.first;
+      const Address target = relay->second.second;
+      sip::Message cancel = sip::Message::request(
+          sip::Method::kCancel, fwd_invite->request_uri(),
+          fwd_invite->from(), fwd_invite->to(), fwd_invite->call_id(),
+          sip::CSeq{fwd_invite->cseq().seq, sip::Method::kCancel});
+      cancel.vias().push_back(fwd_invite->top_via());
+      // CANCEL responses terminate at this hop (hop-by-hop method).
+      txns_.create_client(std::move(cancel).finish(), sender_to(target),
+                          txn::ClientCallbacks{});
+      return;
+    }
+
+    // Statelessly relayed INVITE (or unknown): forward the CANCEL along
+    // the same route; the deterministic stateless branch reproduces the
+    // branch the INVITE carried downstream, so it matches there.
+    sip::Message fwd = sip::clone(*msg);
+    fwd.decrement_max_forwards();
+    if (fwd.max_forwards() <= 0) return;
+    const auto decision = routes_.route(fwd.request_uri());
+    if (!decision) return;
+    Address target;
+    if (decision->local) {
+      const auto resolved = resolve_local_target(fwd.request_uri());
+      if (!resolved) return;
+      target = resolved->address;
+      if (resolved->retarget) fwd.set_request_uri(*resolved->retarget);
+    } else {
+      target = decision->next_hop;
+    }
+    fwd.push_via(sip::Via{"SIP/2.0/UDP", config_.host,
+                          sip::stateless_branch(msg->top_via().branch,
+                                                config_.host)});
+    send_charged(target, std::move(fwd).finish());
+  });
+}
+
+void ProxyServer::handle_register(Address from, const sip::MessagePtr& msg) {
+  // Registrar processing: bind the To AOR to the Contact for the requested
+  // lifetime and answer 200 through a server transaction (which absorbs
+  // REGISTER retransmissions).
+  const CostVector cost =
+      CpuCostModel::forward(config_.stateless_mode, MsgKind::kOther);
+  charge(cost);
+  cpu_.submit_urgent(cost.total(), [this, from, msg] {
+    if (auto* existing = txns_.find_server(*msg)) {
+      existing->receive_request(msg);
+      return;
+    }
+    int expires_s = 3600;
+    if (const auto header = msg->header("Expires")) {
+      std::from_chars(header->data(), header->data() + header->size(),
+                      expires_s);
+    }
+    const std::string aor = msg->to().uri.aor();
+    if (msg->contact()) {
+      if (expires_s <= 0) {
+        location_->unregister(aor);
+      } else {
+        location_->register_binding(
+            aor, msg->contact()->uri,
+            sim_.now() + SimTime::seconds(static_cast<double>(expires_s)));
+      }
+      ++stats_.registrations;
+    }
+    auto& txn = txns_.create_server(msg, sender_to(from),
+                                    txn::ServerCallbacks{});
+    sip::Message ok = sip::Message::response(*msg, sip::status::kOk);
+    ok.set_header("Expires", std::to_string(expires_s));
+    txn.respond(std::move(ok).finish());
+  });
+}
+
+void ProxyServer::handle_control(Address from, const sip::Message& msg) {
+  ++stats_.overload_signals_received;
+  const auto value = msg.header(kOverloadHeader);
+  if (!value) return;
+  // Format: "on;rate=<double>" or "off;rate=<double>".
+  const std::string_view text = *value;
+  const bool on = text.starts_with("on");
+  double rate = 0.0;
+  if (const auto pos = text.find("rate="); pos != std::string_view::npos) {
+    const std::string_view num = text.substr(pos + 5);
+    std::from_chars(num.data(), num.data() + num.size(), rate);
+  }
+  const auto path = routes_.path_of(from);
+  if (path) {
+    policy_->on_overload_signal(*path, on, rate);
+  }
+}
+
+void ProxyServer::send_overload_signal(bool on, double c_asf_rate) {
+  for (const Address upstream : upstream_proxies_) {
+    sip::Message options = sip::Message::request(
+        sip::Method::kOptions, sip::Uri("overload", config_.host),
+        sip::NameAddr{"", sip::Uri("control", config_.host), "svk"},
+        sip::NameAddr{"", sip::Uri("control", config_.host), ""},
+        config_.host + "-ovl-" + std::to_string(++overload_signal_seq_),
+        sip::CSeq{1, sip::Method::kOptions});
+    options.push_via(
+        sip::Via{"SIP/2.0/UDP", config_.host, branches_.next()});
+    char value[48];
+    std::snprintf(value, sizeof(value), "%s;rate=%.3f", on ? "on" : "off",
+                  c_asf_rate);
+    options.set_header(std::string(kOverloadHeader), value);
+    auto msg = std::move(options).finish();
+    // Control sends bypass admission: signalling must survive saturation.
+    cpu_.submit_urgent(CpuCostModel::generate_error().total(), nullptr);
+    send_charged(upstream, msg);
+    ++stats_.overload_signals_sent;
+  }
+}
+
+std::optional<ProxyServer::LocalTarget> ProxyServer::resolve_local_target(
+    const sip::Uri& uri) {
+  // Direct contact (host of a registered element), as in ACK/BYE whose
+  // request URI is the callee's contact.
+  if (const auto direct = registry_.resolve(uri.host())) {
+    return LocalTarget{*direct, std::nullopt};
+  }
+  // Otherwise an address-of-record: consult the location service and
+  // retarget to the current contact.
+  const auto binding = location_->lookup(uri.aor(), sim_.now());
+  if (!binding) return std::nullopt;
+  const auto address = registry_.resolve(binding->contact.host());
+  if (!address) return std::nullopt;
+  return LocalTarget{*address, binding->contact};
+}
+
+void ProxyServer::send_charged(Address to, const sip::MessagePtr& msg) {
+  const CostVector cost = CpuCostModel::transport_send();
+  charge(cost);
+  cpu_.submit_urgent(cost.total(), nullptr);
+  network_.send(config_.address, to, msg);
+}
+
+txn::SendFn ProxyServer::sender_to(Address to) {
+  return [this, to](const sip::MessagePtr& msg) { send_charged(to, msg); };
+}
+
+}  // namespace svk::proxy

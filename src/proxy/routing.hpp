@@ -1,0 +1,74 @@
+// Proxy routing table.
+//
+// Routes a request URI to either a downstream proxy (by domain suffix, as
+// in the paper's gatech.edu -> cc.gatech.edu hierarchy) or to local
+// delivery through the location service (this proxy is the exit for that
+// domain). An entry may list several next hops — the load-balancing fork of
+// the paper's Figure 8 — split round-robin.
+//
+// Every distinct forwarding target gets a stable *path index*; the
+// SERvartuka controller keeps its per-downstream-path counters keyed on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sip/uri.hpp"
+
+namespace svk::proxy {
+
+/// Where a routed request goes.
+struct RouteDecision {
+  bool local = false;       // deliver via location service (exit path)
+  Address next_hop;         // valid when !local
+  std::size_t path_index = 0;
+};
+
+/// Static description of one path, exposed to the state policy.
+struct PathInfo {
+  bool delegable = false;   // has a downstream proxy to delegate state to
+  Address next_hop;         // valid when delegable
+};
+
+class RouteTable {
+ public:
+  /// Adds a domain-suffix route to one or more downstream proxies.
+  /// Longer suffixes win; among equal hops traffic is split round-robin.
+  void add_route(std::string domain_suffix, std::vector<Address> next_hops);
+
+  /// Marks a domain suffix as locally delivered (this proxy is its exit).
+  void add_local(std::string domain_suffix);
+
+  /// Routes by the request-URI host. Returns nullopt when no rule matches.
+  [[nodiscard]] std::optional<RouteDecision> route(const sip::Uri& uri);
+
+  /// All paths, indexed by path_index.
+  [[nodiscard]] const std::vector<PathInfo>& paths() const { return paths_; }
+
+  /// Maps a neighbor address back to its path index (for overload signals
+  /// arriving from a downstream proxy).
+  [[nodiscard]] std::optional<std::size_t> path_of(Address neighbor) const;
+
+ private:
+  struct Entry {
+    std::string suffix;
+    bool local = false;
+    std::vector<std::size_t> path_indices;  // round-robin set
+    std::uint64_t rr_counter = 0;
+  };
+
+  [[nodiscard]] static bool suffix_matches(const std::string& host,
+                                           const std::string& suffix);
+
+  std::size_t path_for(Address next_hop);
+  std::size_t local_path();
+
+  std::vector<Entry> entries_;
+  std::vector<PathInfo> paths_;
+  std::optional<std::size_t> local_path_;
+};
+
+}  // namespace svk::proxy

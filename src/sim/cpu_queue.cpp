@@ -1,0 +1,69 @@
+#include "sim/cpu_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace svk::sim {
+
+CpuQueue::CpuQueue(Simulator& sim, CpuQueueConfig config)
+    : sim_(sim), config_(config) {
+  assert(config_.capacity > 0.0);
+}
+
+bool CpuQueue::submit(double cost, Completion done) {
+  if (backlog() > config_.max_queue_delay) {
+    ++stats_.rejected;
+    return false;
+  }
+  enqueue(cost, std::move(done));
+  return true;
+}
+
+void CpuQueue::submit_urgent(double cost, Completion done) {
+  enqueue(cost, std::move(done));
+}
+
+void CpuQueue::enqueue(double cost, Completion done) {
+  assert(cost >= 0.0);
+  ++stats_.admitted;
+  stats_.total_cost += cost;
+  const SimTime service = SimTime::seconds(cost / config_.capacity);
+  const SimTime start = std::max(busy_until_, sim_.now());
+  busy_until_ = start + service;
+  total_service_ += service;
+  if (done) {
+    sim_.schedule_at(busy_until_, std::move(done));
+  }
+}
+
+SimTime CpuQueue::backlog() const {
+  const SimTime now = sim_.now();
+  return busy_until_ > now ? busy_until_ - now : SimTime{};
+}
+
+SimTime CpuQueue::busy_elapsed(SimTime now) const {
+  const SimTime future =
+      busy_until_ > now ? busy_until_ - now : SimTime{};
+  return total_service_ - future;
+}
+
+UtilizationProbe::UtilizationProbe(const CpuQueue& cpu, const Simulator& sim)
+    : cpu_(cpu), sim_(sim) {
+  restart();
+}
+
+void UtilizationProbe::restart() {
+  start_ = sim_.now();
+  busy_at_start_ = cpu_.busy_elapsed(start_);
+}
+
+double UtilizationProbe::utilization() const {
+  const SimTime now = sim_.now();
+  const double span = (now - start_).to_seconds();
+  if (span <= 0.0) return 0.0;
+  const double busy = (cpu_.busy_elapsed(now) - busy_at_start_).to_seconds();
+  return std::clamp(busy / span, 0.0, 1.0);
+}
+
+}  // namespace svk::sim

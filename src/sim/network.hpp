@@ -1,0 +1,112 @@
+// Simulated datagram network.
+//
+// Models the testbed the paper used: hosts on a private Gigabit segment.
+// Links add a fixed latency, optional uniform jitter, and optional Bernoulli
+// loss. The payload type is a template parameter so the network layer stays
+// independent of the SIP stack (instantiated with sip::MessagePtr by the
+// transport layer).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace svk::sim {
+
+/// Per-link transmission characteristics.
+struct LinkParams {
+  SimTime latency = SimTime::micros(100);  // one-way propagation
+  SimTime jitter;                          // uniform extra in [0, jitter]
+  double loss_probability = 0.0;           // i.i.d. per-datagram drop
+};
+
+/// Datagram delivery counters, per network.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;      // random link loss
+  std::uint64_t dropped_no_route = 0;  // destination not attached
+};
+
+/// A datagram network between attached hosts.
+///
+/// \tparam Payload  copyable handle delivered to the receiver (typically a
+///                  shared_ptr to an immutable message)
+template <typename Payload>
+class Network {
+ public:
+  /// Receiver callback: (source address, payload).
+  using Handler = std::function<void(Address, Payload)>;
+
+  Network(Simulator& sim, Rng rng) : sim_(sim), rng_(rng) {}
+
+  /// Registers (or replaces) the host listening on `addr`.
+  void attach(Address addr, Handler handler) {
+    hosts_[addr] = std::move(handler);
+  }
+
+  void detach(Address addr) { hosts_.erase(addr); }
+
+  /// Sets the default link characteristics used where no per-pair link is
+  /// configured.
+  void set_default_link(LinkParams params) { default_link_ = params; }
+
+  /// Sets a directed per-pair link override.
+  void set_link(Address from, Address to, LinkParams params) {
+    links_[key(from, to)] = params;
+  }
+
+  /// Sends a datagram. Delivery (or silent loss) happens after the link
+  /// latency; UDP semantics, no delivery guarantee, no reordering within a
+  /// link (FIFO scheduling preserves send order for equal latencies).
+  void send(Address from, Address to, Payload payload) {
+    ++stats_.sent;
+    const LinkParams& link = link_for(from, to);
+    if (link.loss_probability > 0.0 &&
+        rng_.bernoulli(link.loss_probability)) {
+      ++stats_.dropped_loss;
+      return;
+    }
+    SimTime delay = link.latency;
+    if (link.jitter > SimTime{}) {
+      delay += SimTime::nanos(static_cast<std::int64_t>(
+          rng_.uniform() * static_cast<double>(link.jitter.ns())));
+    }
+    sim_.schedule(delay, [this, from, to, payload = std::move(payload)] {
+      auto it = hosts_.find(to);
+      if (it == hosts_.end()) {
+        ++stats_.dropped_no_route;
+        return;
+      }
+      ++stats_.delivered;
+      it->second(from, payload);
+    });
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+ private:
+  static std::uint64_t key(Address from, Address to) {
+    return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+  }
+
+  const LinkParams& link_for(Address from, Address to) const {
+    auto it = links_.find(key(from, to));
+    return it != links_.end() ? it->second : default_link_;
+  }
+
+  Simulator& sim_;
+  Rng rng_;
+  LinkParams default_link_;
+  std::unordered_map<Address, Handler> hosts_;
+  std::unordered_map<std::uint64_t, LinkParams> links_;
+  NetworkStats stats_;
+};
+
+}  // namespace svk::sim

@@ -1,0 +1,85 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace svk::sim {
+
+EventId Simulator::schedule(SimTime delay, Action action) {
+  if (delay < SimTime{}) delay = SimTime{};
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(action)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != 0 && id < next_id_) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, SimTime period,
+                             std::function<void()> on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicTimer::arm() {
+  pending_ = sim_.schedule(period_, [this] {
+    if (!running_) return;
+    on_tick_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace svk::sim

@@ -1,0 +1,103 @@
+// Discrete-event simulator.
+//
+// A single-threaded event loop over virtual time. Events scheduled for the
+// same instant run in FIFO order (stable sequence-number tie-break), which
+// makes every run bit-reproducible for a given seed and schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace svk::sim {
+
+/// Identifies a scheduled event for cancellation.
+using EventId = std::uint64_t;
+
+/// The event loop. Not thread-safe by design (CP: the simulation is
+/// deterministic and single-threaded; parallelism belongs outside the clock).
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` after now. Negative delays clamp to
+  /// zero (run "immediately", after already-queued same-time events).
+  EventId schedule(SimTime delay, Action action);
+
+  /// Schedules `action` at an absolute time (clamped to now).
+  EventId schedule_at(SimTime when, Action action);
+
+  /// Cancels a pending event. Cancelling an already-run or unknown id is a
+  /// harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or `until` is passed. The clock
+  /// is left at the last executed event (or `until` if given and reached).
+  void run_until(SimTime until);
+
+  /// Runs until the queue drains completely.
+  void run();
+
+  /// Executes the single next event, if any. Returns false when idle.
+  bool step();
+
+  /// Number of events executed so far (diagnostics).
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+
+  /// Pending (non-cancelled) event count.
+  [[nodiscard]] std::size_t pending_count() const {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  SimTime now_;
+  EventId next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// A repeating timer bound to a simulator. Ticks every `period` until
+/// stopped or destroyed (RAII; R.1).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimTime period, std::function<void()> on_tick);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void()> on_tick_;
+  EventId pending_{0};
+  bool running_{false};
+};
+
+}  // namespace svk::sim

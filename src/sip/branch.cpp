@@ -1,0 +1,59 @@
+#include "sip/branch.hpp"
+
+#include <cstdio>
+
+namespace svk::sip {
+namespace {
+
+/// FNV-1a, the kind of cheap header hash OpenSER uses for transaction
+/// lookup (the "Hashing" cost block of Figure 3).
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string BranchGenerator::next() {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s-%llx-%llx", std::string(kMagicCookie).c_str(),
+                static_cast<unsigned long long>(element_id_),
+                static_cast<unsigned long long>(++counter_));
+  return buf;
+}
+
+std::string stateless_branch(std::string_view incoming_branch,
+                             std::string_view host) {
+  const std::uint64_t h = fnv1a(host, fnv1a(incoming_branch));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "-sl%llx",
+                static_cast<unsigned long long>(h));
+  return std::string(kMagicCookie) + buf;
+}
+
+std::size_t TransactionKeyHash::operator()(
+    const TransactionKey& key) const noexcept {
+  std::uint64_t h = fnv1a(key.branch);
+  h = fnv1a(key.sent_by, h);
+  h ^= static_cast<std::uint64_t>(key.method) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(h);
+}
+
+TransactionKey server_key(const Message& req) {
+  const Via& via = req.top_via();
+  Method method = req.method();
+  if (method == Method::kAck) method = Method::kInvite;
+  return TransactionKey{via.branch, via.sent_by, method};
+}
+
+TransactionKey client_key(const Message& resp) {
+  const Via& via = resp.top_via();
+  Method method = resp.cseq().method;
+  return TransactionKey{via.branch, via.sent_by, method};
+}
+
+}  // namespace svk::sip

@@ -1,0 +1,64 @@
+// Transaction identification (RFC 3261 17.2.3 / 8.1.1.7).
+//
+// Every forwarded request gets a unique branch token starting with the
+// z9hG4bK magic cookie; transactions are keyed on (branch, sent-by, method).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sip/message.hpp"
+
+namespace svk::sip {
+
+inline constexpr std::string_view kMagicCookie = "z9hG4bK";
+
+/// Deterministic branch-token source. Each element owns one, seeded with its
+/// address, so runs are reproducible yet branches are globally unique.
+class BranchGenerator {
+ public:
+  explicit BranchGenerator(std::uint64_t element_id)
+      : element_id_(element_id) {}
+
+  [[nodiscard]] std::string next();
+
+ private:
+  std::uint64_t element_id_;
+  std::uint64_t counter_{0};
+};
+
+/// Key identifying a transaction at one element.
+struct TransactionKey {
+  std::string branch;
+  std::string sent_by;
+  Method method = Method::kInvite;
+
+  friend bool operator==(const TransactionKey&,
+                         const TransactionKey&) = default;
+};
+
+struct TransactionKeyHash {
+  std::size_t operator()(const TransactionKey& key) const noexcept;
+};
+
+/// Key a *server* transaction uses to match an incoming request
+/// (RFC 3261 17.2.3): top Via branch + sent-by + method, with ACK matching
+/// the INVITE transaction. CANCEL matches its own transaction (the CANCEL
+/// server transaction is distinct from the INVITE's).
+/// Precondition: req has at least one Via.
+[[nodiscard]] TransactionKey server_key(const Message& req);
+
+/// Deterministic branch for *stateless* forwarding (RFC 3261 16.11): the
+/// branch must be computed from the incoming request so retransmissions get
+/// the same value and can be matched/absorbed by stateful nodes downstream.
+[[nodiscard]] std::string stateless_branch(std::string_view incoming_branch,
+                                           std::string_view host);
+
+/// Key a *client* transaction uses to match an incoming response: the
+/// response's top Via is the one this element inserted, so its branch plus
+/// the CSeq method identify the transaction (RFC 3261 17.1.3).
+/// Precondition: resp has at least one Via.
+[[nodiscard]] TransactionKey client_key(const Message& resp);
+
+}  // namespace svk::sip

@@ -1,0 +1,163 @@
+// SIP message model (RFC 3261 subset).
+//
+// Messages are built mutable, then shared immutably across the simulated
+// network as MessagePtr (shared_ptr<const Message>). A proxy that needs to
+// modify a message in flight (push a Via, decrement Max-Forwards) copies it
+// first — copy-on-forward, matching how a real proxy re-serializes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sip/methods.hpp"
+#include "sip/uri.hpp"
+
+namespace svk::sip {
+
+/// One Via header entry (RFC 3261 8.1.1.7 / 18.2.1): the response return
+/// path. `sent_by` is the sender's host identity; `branch` the transaction
+/// id token.
+struct Via {
+  std::string protocol = "SIP/2.0/UDP";
+  std::string sent_by;
+  std::string branch;
+
+  friend bool operator==(const Via&, const Via&) = default;
+};
+
+/// From/To/Contact value: optional display name, URI and optional tag.
+struct NameAddr {
+  std::string display;
+  Uri uri;
+  std::string tag;
+
+  friend bool operator==(const NameAddr&, const NameAddr&) = default;
+};
+
+/// CSeq header (RFC 3261 8.1.1.5).
+struct CSeq {
+  std::uint32_t seq = 1;
+  Method method = Method::kInvite;
+
+  friend bool operator==(const CSeq&, const CSeq&) = default;
+};
+
+class Message;
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// A SIP request or response.
+class Message {
+ public:
+  /// Creates a request with the mandatory header skeleton.
+  [[nodiscard]] static Message request(Method method, Uri request_uri,
+                                       NameAddr from, NameAddr to,
+                                       std::string call_id, CSeq cseq);
+
+  /// Creates a response to `req` per RFC 3261 8.2.6: Vias, From, To,
+  /// Call-ID and CSeq are copied from the request.
+  [[nodiscard]] static Message response(const Message& req, int status_code,
+                                        std::string_view reason = {});
+
+  [[nodiscard]] bool is_request() const { return is_request_; }
+  [[nodiscard]] bool is_response() const { return !is_request_; }
+
+  // -- Request line --------------------------------------------------------
+  [[nodiscard]] Method method() const { return method_; }
+  [[nodiscard]] const Uri& request_uri() const { return request_uri_; }
+  void set_request_uri(Uri uri) { request_uri_ = std::move(uri); }
+
+  // -- Status line ---------------------------------------------------------
+  [[nodiscard]] int status_code() const { return status_code_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+  // -- Core headers --------------------------------------------------------
+  [[nodiscard]] const std::vector<Via>& vias() const { return vias_; }
+  [[nodiscard]] std::vector<Via>& vias() { return vias_; }
+  /// Top Via; precondition: at least one Via present.
+  [[nodiscard]] const Via& top_via() const { return vias_.front(); }
+  void push_via(Via via) { vias_.insert(vias_.begin(), std::move(via)); }
+  void pop_via() { vias_.erase(vias_.begin()); }
+
+  [[nodiscard]] const NameAddr& from() const { return from_; }
+  [[nodiscard]] NameAddr& from() { return from_; }
+  [[nodiscard]] const NameAddr& to() const { return to_; }
+  [[nodiscard]] NameAddr& to() { return to_; }
+
+  [[nodiscard]] const std::string& call_id() const { return call_id_; }
+  [[nodiscard]] const CSeq& cseq() const { return cseq_; }
+
+  [[nodiscard]] const std::optional<NameAddr>& contact() const {
+    return contact_;
+  }
+  void set_contact(NameAddr contact) { contact_ = std::move(contact); }
+
+  [[nodiscard]] int max_forwards() const { return max_forwards_; }
+  void set_max_forwards(int mf) { max_forwards_ = mf; }
+  void decrement_max_forwards() { --max_forwards_; }
+
+  // -- Routing headers -----------------------------------------------------
+  [[nodiscard]] const std::vector<Uri>& routes() const { return routes_; }
+  [[nodiscard]] std::vector<Uri>& routes() { return routes_; }
+  [[nodiscard]] const std::vector<Uri>& record_routes() const {
+    return record_routes_;
+  }
+  [[nodiscard]] std::vector<Uri>& record_routes() { return record_routes_; }
+
+  // -- Extension headers ---------------------------------------------------
+  /// First value of an extension header, if present.
+  [[nodiscard]] std::optional<std::string_view> header(
+      std::string_view name) const;
+  /// Sets (replacing any existing value of) an extension header.
+  void set_header(std::string name, std::string value);
+  void remove_header(std::string_view name);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  extension_headers() const {
+    return extra_;
+  }
+
+  // -- Body ----------------------------------------------------------------
+  [[nodiscard]] const std::string& body() const { return body_; }
+  void set_body(std::string body) { body_ = std::move(body); }
+
+  /// Serializes to RFC 3261 wire format (CRLF line endings).
+  [[nodiscard]] std::string to_wire() const;
+
+  /// Number of header lines a stateless forwarder must at least touch;
+  /// used by the cost model's lazy-parsing account.
+  [[nodiscard]] std::size_t header_count() const;
+
+  /// Shares this message immutably.
+  [[nodiscard]] MessagePtr finish() && {
+    return std::make_shared<const Message>(std::move(*this));
+  }
+
+ private:
+  bool is_request_ = true;
+  Method method_ = Method::kInvite;
+  Uri request_uri_;
+  int status_code_ = 0;
+  std::string reason_;
+
+  std::vector<Via> vias_;
+  NameAddr from_;
+  NameAddr to_;
+  std::string call_id_;
+  CSeq cseq_;
+  std::optional<NameAddr> contact_;
+  int max_forwards_ = 70;
+  std::vector<Uri> routes_;
+  std::vector<Uri> record_routes_;
+  std::vector<std::pair<std::string, std::string>> extra_;
+  std::string body_;
+
+  friend class Parser;
+};
+
+/// Copies a shared message for modification (copy-on-forward).
+[[nodiscard]] inline Message clone(const Message& msg) { return msg; }
+
+}  // namespace svk::sip

@@ -1,0 +1,67 @@
+#include "sip/methods.hpp"
+
+namespace svk::sip {
+
+std::string_view to_string(Method m) {
+  switch (m) {
+    case Method::kInvite: return "INVITE";
+    case Method::kAck: return "ACK";
+    case Method::kBye: return "BYE";
+    case Method::kCancel: return "CANCEL";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kRegister: return "REGISTER";
+    case Method::kInfo: return "INFO";
+    case Method::kUpdate: return "UPDATE";
+    case Method::kSubscribe: return "SUBSCRIBE";
+    case Method::kNotify: return "NOTIFY";
+    case Method::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+Method parse_method(std::string_view token) {
+  if (token == "INVITE") return Method::kInvite;
+  if (token == "ACK") return Method::kAck;
+  if (token == "BYE") return Method::kBye;
+  if (token == "CANCEL") return Method::kCancel;
+  if (token == "OPTIONS") return Method::kOptions;
+  if (token == "REGISTER") return Method::kRegister;
+  if (token == "INFO") return Method::kInfo;
+  if (token == "UPDATE") return Method::kUpdate;
+  if (token == "SUBSCRIBE") return Method::kSubscribe;
+  if (token == "NOTIFY") return Method::kNotify;
+  return Method::kUnknown;
+}
+
+std::string_view reason_phrase(int status_code) {
+  switch (status_code) {
+    case 100: return "Trying";
+    case 180: return "Ringing";
+    case 183: return "Session Progress";
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 301: return "Moved Permanently";
+    case 302: return "Moved Temporarily";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 407: return "Proxy Authentication Required";
+    case 408: return "Request Timeout";
+    case 480: return "Temporarily Unavailable";
+    case 481: return "Call/Transaction Does Not Exist";
+    case 482: return "Loop Detected";
+    case 483: return "Too Many Hops";
+    case 486: return "Busy Here";
+    case 487: return "Request Terminated";
+    case 500: return "Server Internal Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Server Time-out";
+    case 600: return "Busy Everywhere";
+    case 603: return "Decline";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace svk::sip

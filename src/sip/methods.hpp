@@ -1,0 +1,56 @@
+// SIP request methods and response status codes (RFC 3261 and extensions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace svk::sip {
+
+enum class Method {
+  kInvite,
+  kAck,
+  kBye,
+  kCancel,
+  kOptions,
+  kRegister,
+  kInfo,
+  kUpdate,
+  kSubscribe,
+  kNotify,
+  kUnknown,
+};
+
+[[nodiscard]] std::string_view to_string(Method m);
+
+/// Parses a method token; unrecognized tokens map to Method::kUnknown.
+[[nodiscard]] Method parse_method(std::string_view token);
+
+/// Well-known status codes used by this implementation.
+namespace status {
+inline constexpr int kTrying = 100;
+inline constexpr int kRinging = 180;
+inline constexpr int kOk = 200;
+inline constexpr int kUnauthorized = 401;
+inline constexpr int kForbidden = 403;
+inline constexpr int kNotFound = 404;
+inline constexpr int kProxyAuthRequired = 407;
+inline constexpr int kRequestTimeout = 408;
+inline constexpr int kTooManyHops = 483;
+inline constexpr int kServerError = 500;
+inline constexpr int kServiceUnavailable = 503;
+}  // namespace status
+
+/// Default reason phrase for a status code; "Unknown" if unrecognized.
+[[nodiscard]] std::string_view reason_phrase(int status_code);
+
+/// Response classification helpers (RFC 3261 7.2).
+[[nodiscard]] constexpr bool is_provisional(int code) {
+  return code >= 100 && code < 200;
+}
+[[nodiscard]] constexpr bool is_final(int code) { return code >= 200; }
+[[nodiscard]] constexpr bool is_success(int code) {
+  return code >= 200 && code < 300;
+}
+
+}  // namespace svk::sip

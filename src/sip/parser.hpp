@@ -1,0 +1,23 @@
+// SIP wire-format parser (RFC 3261 subset matching Message::to_wire).
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "sip/message.hpp"
+
+namespace svk::sip {
+
+class Parser {
+ public:
+  /// Parses a complete datagram into a Message. Returns an Error for
+  /// malformed input (never throws for bad wire data — peer input is an
+  /// expected failure source, not a logic error).
+  [[nodiscard]] static Result<Message> parse(std::string_view wire);
+};
+
+/// Parses a "name-addr" header value: ["display"] <uri> [;tag=x] or a bare
+/// URI with optional ;tag.
+[[nodiscard]] Result<NameAddr> parse_name_addr(std::string_view text);
+
+}  // namespace svk::sip

@@ -1,0 +1,103 @@
+#include "txn/manager.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace svk::txn {
+
+TransactionManager::TransactionManager(sim::Simulator& sim,
+                                       TimerConfig timers)
+    : sim_(sim), timers_(timers) {}
+
+Dispatch TransactionManager::dispatch(const sip::MessagePtr& msg) {
+  assert(msg);
+  if (msg->is_request()) {
+    const auto key = sip::server_key(*msg);
+    if (auto it = servers_.find(key); it != servers_.end()) {
+      it->second->receive_request(msg);
+      return Dispatch::kHandledByServerTxn;
+    }
+    return Dispatch::kNewRequest;
+  }
+  const auto key = sip::client_key(*msg);
+  if (auto it = clients_.find(key); it != clients_.end()) {
+    it->second->receive_response(msg);
+    return Dispatch::kHandledByClientTxn;
+  }
+  return Dispatch::kStrayResponse;
+}
+
+ClientTransaction& TransactionManager::create_client(
+    const sip::MessagePtr& request, SendFn send, ClientCallbacks callbacks) {
+  // The response will arrive with our Via on top, so the client key is
+  // derived from the request's current top Via.
+  sip::TransactionKey key{request->top_via().branch,
+                          request->top_via().sent_by,
+                          request->cseq().method};
+  const auto user_terminated = std::move(callbacks.on_terminated);
+  callbacks.on_terminated = [this, key, user_terminated] {
+    if (user_terminated) user_terminated();
+    schedule_client_removal(key);
+  };
+  auto txn = std::make_unique<ClientTransaction>(
+      sim_, timers_, request->cseq().method == sip::Method::kInvite, request,
+      std::move(send), std::move(callbacks));
+  ClientTransaction& ref = *txn;
+  ++created_;
+  clients_[key] = std::move(txn);
+  ref.start();
+  return ref;
+}
+
+ServerTransaction& TransactionManager::create_server(
+    const sip::MessagePtr& request, SendFn send, ServerCallbacks callbacks) {
+  const auto key = sip::server_key(*request);
+  const auto user_terminated = std::move(callbacks.on_terminated);
+  callbacks.on_terminated = [this, key, user_terminated] {
+    if (user_terminated) user_terminated();
+    schedule_server_removal(key);
+  };
+  auto txn = std::make_unique<ServerTransaction>(
+      sim_, timers_, request->method() == sip::Method::kInvite, request,
+      std::move(send), std::move(callbacks));
+  ServerTransaction& ref = *txn;
+  ++created_;
+  servers_[key] = std::move(txn);
+  return ref;
+}
+
+ServerTransaction* TransactionManager::find_server(const sip::Message& msg) {
+  const auto it = servers_.find(sip::server_key(msg));
+  return it != servers_.end() ? it->second.get() : nullptr;
+}
+
+ClientTransaction* TransactionManager::find_client(const sip::Message& msg) {
+  const auto it = clients_.find(sip::client_key(msg));
+  return it != clients_.end() ? it->second.get() : nullptr;
+}
+
+ServerTransaction* TransactionManager::find_server(
+    const sip::TransactionKey& key) {
+  const auto it = servers_.find(key);
+  return it != servers_.end() ? it->second.get() : nullptr;
+}
+
+ClientTransaction* TransactionManager::find_client(
+    const sip::TransactionKey& key) {
+  const auto it = clients_.find(key);
+  return it != clients_.end() ? it->second.get() : nullptr;
+}
+
+void TransactionManager::schedule_client_removal(
+    const sip::TransactionKey& key) {
+  // Removal is deferred to a fresh event so the transaction's member
+  // functions can safely finish executing on the current stack.
+  sim_.schedule(SimTime{}, [this, key] { clients_.erase(key); });
+}
+
+void TransactionManager::schedule_server_removal(
+    const sip::TransactionKey& key) {
+  sim_.schedule(SimTime{}, [this, key] { servers_.erase(key); });
+}
+
+}  // namespace svk::txn

@@ -1,0 +1,74 @@
+// Transaction table: matches incoming messages to transactions
+// (RFC 3261 17.1.3 / 17.2.3) and owns transaction lifetimes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+#include "sip/branch.hpp"
+#include "sip/message.hpp"
+#include "txn/transaction.hpp"
+
+namespace svk::txn {
+
+/// What the dispatcher decided about an incoming message.
+enum class Dispatch {
+  /// Request matched no transaction: the element core must handle it
+  /// (create a transaction, forward statelessly, ...).
+  kNewRequest,
+  /// Request (or ACK) matched an existing server transaction and was
+  /// handled there — typically a retransmission, absorbed.
+  kHandledByServerTxn,
+  /// Response matched a client transaction and was consumed by it.
+  kHandledByClientTxn,
+  /// Response matched nothing: forward statelessly (proxy) or drop (UA).
+  kStrayResponse,
+};
+
+/// Owns all transactions of one element (proxy or user agent).
+class TransactionManager {
+ public:
+  TransactionManager(sim::Simulator& sim, TimerConfig timers);
+
+  /// Routes an incoming message into the transaction table.
+  Dispatch dispatch(const sip::MessagePtr& msg);
+
+  /// Creates and starts a client transaction for `request` (whose top Via
+  /// must already carry this element's branch). `callbacks.on_terminated`
+  /// may be empty; the manager always removes the entry afterwards.
+  ClientTransaction& create_client(const sip::MessagePtr& request,
+                                   SendFn send, ClientCallbacks callbacks);
+
+  /// Creates a server transaction for an incoming `request`.
+  ServerTransaction& create_server(const sip::MessagePtr& request,
+                                   SendFn send, ServerCallbacks callbacks);
+
+  /// Looks up the server transaction that would match `msg`, if any.
+  [[nodiscard]] ServerTransaction* find_server(const sip::Message& msg);
+  [[nodiscard]] ClientTransaction* find_client(const sip::Message& msg);
+  [[nodiscard]] ServerTransaction* find_server(const sip::TransactionKey& key);
+  [[nodiscard]] ClientTransaction* find_client(const sip::TransactionKey& key);
+
+  [[nodiscard]] std::size_t active_count() const {
+    return clients_.size() + servers_.size();
+  }
+  [[nodiscard]] std::uint64_t created_count() const { return created_; }
+
+ private:
+  void schedule_client_removal(const sip::TransactionKey& key);
+  void schedule_server_removal(const sip::TransactionKey& key);
+
+  sim::Simulator& sim_;
+  TimerConfig timers_;
+  std::uint64_t created_{0};
+  std::unordered_map<sip::TransactionKey, std::unique_ptr<ClientTransaction>,
+                     sip::TransactionKeyHash>
+      clients_;
+  std::unordered_map<sip::TransactionKey, std::unique_ptr<ServerTransaction>,
+                     sip::TransactionKeyHash>
+      servers_;
+};
+
+}  // namespace svk::txn

@@ -1,0 +1,30 @@
+// SIP transaction timer configuration (RFC 3261 17, Table 4).
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace svk::txn {
+
+/// Base timers; all derived timers follow the RFC 3261 formulas. UDP
+/// transport is assumed throughout (the paper's SIPp/OpenSER testbed ran
+/// UDP), so the "unreliable transport" values apply.
+struct TimerConfig {
+  SimTime t1 = SimTime::millis(500);  // RTT estimate
+  SimTime t2 = SimTime::seconds(4);   // retransmit cap for non-INVITE
+  SimTime t4 = SimTime::seconds(5);   // max message lifetime in the network
+
+  [[nodiscard]] SimTime timer_a() const { return t1; }        // INVITE rtx
+  [[nodiscard]] SimTime timer_b() const { return 64 * t1; }   // INVITE timeout
+  [[nodiscard]] SimTime timer_d() const {                     // wait rtx resp
+    return SimTime::seconds(32);
+  }
+  [[nodiscard]] SimTime timer_e() const { return t1; }        // non-INV rtx
+  [[nodiscard]] SimTime timer_f() const { return 64 * t1; }   // non-INV timeout
+  [[nodiscard]] SimTime timer_g() const { return t1; }        // INV resp rtx
+  [[nodiscard]] SimTime timer_h() const { return 64 * t1; }   // wait ACK
+  [[nodiscard]] SimTime timer_i() const { return t4; }        // wait ACK rtx
+  [[nodiscard]] SimTime timer_j() const { return 64 * t1; }   // non-INV absorb
+  [[nodiscard]] SimTime timer_k() const { return t4; }        // wait resp rtx
+};
+
+}  // namespace svk::txn

@@ -1,0 +1,284 @@
+#include "txn/transaction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace svk::txn {
+namespace {
+
+/// Hop-by-hop ACK for a non-2xx final response (RFC 3261 17.1.1.3): same
+/// branch/top Via as the INVITE, To copied from the response (it carries the
+/// UAS tag).
+sip::MessagePtr build_non2xx_ack(const sip::Message& invite,
+                                 const sip::Message& response) {
+  sip::Message ack = sip::Message::request(
+      sip::Method::kAck, invite.request_uri(), invite.from(), response.to(),
+      invite.call_id(),
+      sip::CSeq{invite.cseq().seq, sip::Method::kAck});
+  ack.vias().push_back(invite.top_via());
+  ack.set_max_forwards(invite.max_forwards());
+  return std::move(ack).finish();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClientTransaction
+// ---------------------------------------------------------------------------
+
+ClientTransaction::ClientTransaction(sim::Simulator& sim,
+                                     const TimerConfig& timers,
+                                     bool is_invite, sip::MessagePtr request,
+                                     SendFn send, ClientCallbacks callbacks)
+    : sim_(sim),
+      timers_(timers),
+      is_invite_(is_invite),
+      request_(std::move(request)),
+      send_(std::move(send)),
+      callbacks_(std::move(callbacks)),
+      state_(is_invite ? ClientState::kCalling : ClientState::kTrying),
+      rtx_interval_(is_invite ? timers.timer_a() : timers.timer_e()) {
+  assert(request_ && request_->is_request());
+}
+
+ClientTransaction::~ClientTransaction() { cancel_timers(); }
+
+void ClientTransaction::cancel_timers() {
+  sim_.cancel(rtx_timer_);
+  sim_.cancel(timeout_timer_);
+  sim_.cancel(linger_timer_);
+  rtx_timer_ = timeout_timer_ = linger_timer_ = 0;
+}
+
+void ClientTransaction::start() {
+  send_(request_);
+  arm_retransmit(rtx_interval_);
+  const SimTime timeout =
+      is_invite_ ? timers_.timer_b() : timers_.timer_f();
+  timeout_timer_ = sim_.schedule(timeout, [this] {
+    timeout_timer_ = 0;
+    const bool may_timeout =
+        state_ == ClientState::kCalling || state_ == ClientState::kTrying ||
+        (!is_invite_ && state_ == ClientState::kProceeding);
+    if (!may_timeout) return;
+    state_ = ClientState::kTerminated;
+    cancel_timers();
+    if (callbacks_.on_timeout) callbacks_.on_timeout();
+    if (callbacks_.on_terminated) callbacks_.on_terminated();
+  });
+}
+
+void ClientTransaction::arm_retransmit(SimTime interval) {
+  rtx_timer_ = sim_.schedule(interval, [this] {
+    rtx_timer_ = 0;
+    const bool retransmitting =
+        state_ == ClientState::kCalling || state_ == ClientState::kTrying ||
+        (!is_invite_ && state_ == ClientState::kProceeding);
+    if (!retransmitting) return;
+    ++retransmits_;
+    send_(request_);
+    // Timer A doubles unbounded; timer E doubles capped at T2; in the
+    // non-INVITE Proceeding state retransmission continues at T2 flat.
+    if (is_invite_) {
+      rtx_interval_ = 2 * rtx_interval_;
+    } else if (state_ == ClientState::kProceeding) {
+      rtx_interval_ = timers_.t2;
+    } else {
+      rtx_interval_ = std::min(2 * rtx_interval_, timers_.t2);
+    }
+    arm_retransmit(rtx_interval_);
+  });
+}
+
+void ClientTransaction::send_ack_for(const sip::MessagePtr& response) {
+  send_(build_non2xx_ack(*request_, *response));
+}
+
+void ClientTransaction::enter_completed_invite(
+    const sip::MessagePtr& response) {
+  send_ack_for(response);
+  state_ = ClientState::kCompleted;
+  sim_.cancel(rtx_timer_);
+  sim_.cancel(timeout_timer_);
+  rtx_timer_ = timeout_timer_ = 0;
+  linger_timer_ = sim_.schedule(timers_.timer_d(), [this] {
+    linger_timer_ = 0;
+    terminate();
+  });
+}
+
+void ClientTransaction::terminate() {
+  if (state_ == ClientState::kTerminated) return;
+  state_ = ClientState::kTerminated;
+  cancel_timers();
+  if (callbacks_.on_terminated) callbacks_.on_terminated();
+}
+
+void ClientTransaction::receive_response(const sip::MessagePtr& response) {
+  assert(response && response->is_response());
+  const int code = response->status_code();
+
+  switch (state_) {
+    case ClientState::kCalling:  // INVITE machine
+    case ClientState::kTrying:   // non-INVITE machine
+    case ClientState::kProceeding: {
+      if (sip::is_provisional(code)) {
+        if (state_ != ClientState::kProceeding) {
+          state_ = ClientState::kProceeding;
+          if (is_invite_) {
+            // INVITE: provisional stops request retransmission and timer B.
+            sim_.cancel(rtx_timer_);
+            sim_.cancel(timeout_timer_);
+            rtx_timer_ = timeout_timer_ = 0;
+          }
+        }
+        if (callbacks_.on_response) callbacks_.on_response(response);
+        return;
+      }
+      // Final response.
+      if (is_invite_) {
+        if (sip::is_success(code)) {
+          // 2xx: transaction terminates; ACK is the TU's end-to-end job.
+          if (callbacks_.on_response) callbacks_.on_response(response);
+          terminate();
+        } else {
+          if (callbacks_.on_response) callbacks_.on_response(response);
+          enter_completed_invite(response);
+        }
+      } else {
+        if (callbacks_.on_response) callbacks_.on_response(response);
+        state_ = ClientState::kCompleted;
+        sim_.cancel(rtx_timer_);
+        sim_.cancel(timeout_timer_);
+        rtx_timer_ = timeout_timer_ = 0;
+        linger_timer_ = sim_.schedule(timers_.timer_k(), [this] {
+          linger_timer_ = 0;
+          terminate();
+        });
+      }
+      return;
+    }
+    case ClientState::kCompleted:
+      // Retransmitted final: absorb; for INVITE, re-ACK (17.1.1.2).
+      if (is_invite_ && sip::is_final(code) && !sip::is_success(code)) {
+        send_ack_for(response);
+      }
+      return;
+    case ClientState::kTerminated:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServerTransaction
+// ---------------------------------------------------------------------------
+
+ServerTransaction::ServerTransaction(sim::Simulator& sim,
+                                     const TimerConfig& timers,
+                                     bool is_invite, sip::MessagePtr request,
+                                     SendFn send, ServerCallbacks callbacks)
+    : sim_(sim),
+      timers_(timers),
+      is_invite_(is_invite),
+      request_(std::move(request)),
+      send_(std::move(send)),
+      callbacks_(std::move(callbacks)),
+      state_(is_invite ? ServerState::kProceeding : ServerState::kTrying),
+      rtx_interval_(timers.timer_g()) {
+  assert(request_ && request_->is_request());
+}
+
+ServerTransaction::~ServerTransaction() { cancel_timers(); }
+
+void ServerTransaction::cancel_timers() {
+  sim_.cancel(rtx_timer_);
+  sim_.cancel(timeout_timer_);
+  sim_.cancel(linger_timer_);
+  rtx_timer_ = timeout_timer_ = linger_timer_ = 0;
+}
+
+void ServerTransaction::terminate() {
+  if (state_ == ServerState::kTerminated) return;
+  state_ = ServerState::kTerminated;
+  cancel_timers();
+  if (callbacks_.on_terminated) callbacks_.on_terminated();
+}
+
+void ServerTransaction::receive_request(const sip::MessagePtr& request) {
+  assert(request && request->is_request());
+  if (state_ == ServerState::kTerminated) return;
+
+  if (is_invite_ && request->method() == sip::Method::kAck) {
+    if (state_ == ServerState::kCompleted) {
+      // ACK for our non-2xx final: stop retransmitting, linger on timer I
+      // to absorb further ACKs.
+      state_ = ServerState::kConfirmed;
+      sim_.cancel(rtx_timer_);
+      sim_.cancel(timeout_timer_);
+      rtx_timer_ = timeout_timer_ = 0;
+      linger_timer_ = sim_.schedule(timers_.timer_i(), [this] {
+        linger_timer_ = 0;
+        terminate();
+      });
+      if (callbacks_.on_ack) callbacks_.on_ack(request);
+    }
+    // ACK retransmissions in Confirmed are absorbed silently.
+    return;
+  }
+
+  // Retransmitted request: absorb, replaying the latest response if any
+  // (RFC 3261 17.2.1 / 17.2.2).
+  ++absorbed_;
+  if (last_response_ &&
+      (state_ == ServerState::kProceeding ||
+       state_ == ServerState::kCompleted)) {
+    send_(last_response_);
+  }
+}
+
+void ServerTransaction::respond(const sip::MessagePtr& response) {
+  assert(response && response->is_response());
+  if (state_ == ServerState::kTerminated) return;
+  const int code = response->status_code();
+  last_response_ = response;
+  send_(response);
+
+  if (sip::is_provisional(code)) {
+    state_ = ServerState::kProceeding;
+    return;
+  }
+  if (is_invite_) {
+    if (sip::is_success(code)) {
+      // 2xx: INVITE server transaction terminates at once (17.2.1); 2xx
+      // retransmission is owned by the UAS core end-to-end.
+      terminate();
+    } else {
+      state_ = ServerState::kCompleted;
+      arm_response_retransmit(rtx_interval_);
+      timeout_timer_ = sim_.schedule(timers_.timer_h(), [this] {
+        timeout_timer_ = 0;
+        if (state_ != ServerState::kCompleted) return;
+        if (callbacks_.on_timeout) callbacks_.on_timeout();
+        terminate();
+      });
+    }
+  } else {
+    state_ = ServerState::kCompleted;
+    linger_timer_ = sim_.schedule(timers_.timer_j(), [this] {
+      linger_timer_ = 0;
+      terminate();
+    });
+  }
+}
+
+void ServerTransaction::arm_response_retransmit(SimTime interval) {
+  rtx_timer_ = sim_.schedule(interval, [this] {
+    rtx_timer_ = 0;
+    if (state_ != ServerState::kCompleted) return;
+    send_(last_response_);
+    rtx_interval_ = std::min(2 * rtx_interval_, timers_.t2);
+    arm_response_retransmit(rtx_interval_);
+  });
+}
+
+}  // namespace svk::txn

@@ -1,0 +1,139 @@
+// RFC 3261 section 17 transaction state machines.
+//
+// A transaction is the stateful unit the paper's servers maintain: it
+// absorbs request retransmissions (server side), drives request
+// retransmissions over UDP (client side), and times out abandoned exchanges.
+// Four machines exist: INVITE/non-INVITE x client/server.
+//
+// Machines communicate with their owner purely through callbacks
+// (I.25-style small interfaces): a wire-send function and transaction-user
+// events. They never touch the network or the proxy core directly.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sip/branch.hpp"
+#include "sip/message.hpp"
+#include "txn/timers.hpp"
+
+namespace svk::txn {
+
+enum class ClientState { kCalling, kTrying, kProceeding, kCompleted, kTerminated };
+enum class ServerState { kTrying, kProceeding, kCompleted, kConfirmed, kTerminated };
+
+/// Callbacks from a transaction to its user (proxy core or UA core).
+struct ClientCallbacks {
+  /// Invoked for every response passed up (provisional and final;
+  /// retransmitted finals are absorbed and NOT passed up again).
+  std::function<void(const sip::MessagePtr&)> on_response;
+  /// Timer B/F fired with no final response.
+  std::function<void()> on_timeout;
+  /// Machine reached Terminated (owner may destroy it).
+  std::function<void()> on_terminated;
+};
+
+struct ServerCallbacks {
+  /// ACK arrived for a non-2xx final response (INVITE server only).
+  std::function<void(const sip::MessagePtr&)> on_ack;
+  /// Timer H fired: no ACK for our non-2xx final.
+  std::function<void()> on_timeout;
+  std::function<void()> on_terminated;
+};
+
+/// Function used to put a message on the wire (destination is bound by the
+/// owner when constructing the transaction).
+using SendFn = std::function<void(const sip::MessagePtr&)>;
+
+/// Client transaction (RFC 3261 17.1). Construct, then call start().
+class ClientTransaction {
+ public:
+  /// \param is_invite  selects the INVITE (17.1.1) vs non-INVITE (17.1.2)
+  ///                   machine
+  ClientTransaction(sim::Simulator& sim, const TimerConfig& timers,
+                    bool is_invite, sip::MessagePtr request, SendFn send,
+                    ClientCallbacks callbacks);
+  ~ClientTransaction();
+
+  ClientTransaction(const ClientTransaction&) = delete;
+  ClientTransaction& operator=(const ClientTransaction&) = delete;
+
+  /// Transmits the request and arms the timers.
+  void start();
+
+  /// Feeds a response matched to this transaction.
+  void receive_response(const sip::MessagePtr& response);
+
+  [[nodiscard]] ClientState state() const { return state_; }
+  [[nodiscard]] const sip::MessagePtr& request() const { return request_; }
+  [[nodiscard]] int retransmit_count() const { return retransmits_; }
+
+ private:
+  void enter_completed_invite(const sip::MessagePtr& response);
+  void send_ack_for(const sip::MessagePtr& response);
+  void arm_retransmit(SimTime interval);
+  void terminate();
+  void cancel_timers();
+
+  sim::Simulator& sim_;
+  TimerConfig timers_;
+  bool is_invite_;
+  sip::MessagePtr request_;
+  SendFn send_;
+  ClientCallbacks callbacks_;
+
+  ClientState state_;
+  SimTime rtx_interval_;
+  int retransmits_{0};
+  sim::EventId rtx_timer_{0};
+  sim::EventId timeout_timer_{0};  // B or F
+  sim::EventId linger_timer_{0};   // D or K
+};
+
+/// Server transaction (RFC 3261 17.2). Construct with the initial request.
+class ServerTransaction {
+ public:
+  ServerTransaction(sim::Simulator& sim, const TimerConfig& timers,
+                    bool is_invite, sip::MessagePtr request, SendFn send,
+                    ServerCallbacks callbacks);
+  ~ServerTransaction();
+
+  ServerTransaction(const ServerTransaction&) = delete;
+  ServerTransaction& operator=(const ServerTransaction&) = delete;
+
+  /// Feeds a retransmitted request or an ACK matched to this transaction.
+  /// Retransmissions are absorbed: the last response (if any) is replayed
+  /// and nothing propagates to the transaction user.
+  void receive_request(const sip::MessagePtr& request);
+
+  /// Transaction user supplies a response to send toward the request
+  /// source. Drives the state machine per its class (1xx/2xx/3xx-6xx).
+  void respond(const sip::MessagePtr& response);
+
+  [[nodiscard]] ServerState state() const { return state_; }
+  [[nodiscard]] const sip::MessagePtr& request() const { return request_; }
+  [[nodiscard]] int absorbed_count() const { return absorbed_; }
+
+ private:
+  void arm_response_retransmit(SimTime interval);
+  void terminate();
+  void cancel_timers();
+
+  sim::Simulator& sim_;
+  TimerConfig timers_;
+  bool is_invite_;
+  sip::MessagePtr request_;
+  SendFn send_;
+  ServerCallbacks callbacks_;
+
+  ServerState state_;
+  sip::MessagePtr last_response_;
+  SimTime rtx_interval_;
+  int absorbed_{0};
+  sim::EventId rtx_timer_{0};     // G
+  sim::EventId timeout_timer_{0}; // H
+  sim::EventId linger_timer_{0};  // I or J
+};
+
+}  // namespace svk::txn

@@ -1,0 +1,38 @@
+// Call-level metrics, as collected by the SIPp client/server scenarios in
+// the paper's testbed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace svk::workload {
+
+/// Counters kept by a UAC (SIPp client role). Snapshot-diff friendly: all
+/// members are monotonically increasing except the setup-time histogram,
+/// which the runner resets at the measurement boundary.
+struct UacMetrics {
+  std::uint64_t calls_attempted = 0;
+  std::uint64_t calls_established = 0;   // 200 to INVITE received
+  std::uint64_t calls_completed = 0;     // 200 to BYE received
+  std::uint64_t calls_failed = 0;        // timeout or non-2xx final
+  std::uint64_t calls_cancelled = 0;     // we abandoned before answer
+  std::uint64_t trying_received = 0;     // 100 Trying (statefulness witness)
+  std::uint64_t ringing_received = 0;
+  std::uint64_t busy_500_received = 0;   // 500 Server Busy finals
+  std::uint64_t retransmissions = 0;     // request retransmits we performed
+  /// INVITE-sent to 200-received latency, milliseconds.
+  Histogram setup_time_ms{10000.0, 2000};
+};
+
+/// Counters kept by a UAS (SIPp server role).
+struct UasMetrics {
+  std::uint64_t invites_received = 0;
+  std::uint64_t calls_established = 0;  // ACK received
+  std::uint64_t calls_completed = 0;    // BYE answered (throughput unit)
+  std::uint64_t byes_received = 0;
+  std::uint64_t cancels_received = 0;   // CANCEL caught the call ringing
+  std::uint64_t retransmitted_200 = 0;
+};
+
+}  // namespace svk::workload

@@ -1,0 +1,149 @@
+#include "workload/runner.hpp"
+
+#include <algorithm>
+
+#include "sim/cpu_queue.hpp"
+
+namespace svk::workload {
+namespace {
+
+/// Snapshot of every monotone counter we diff across the measurement window.
+struct Snapshot {
+  std::uint64_t completed = 0;
+  std::uint64_t attempted = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t busy_500 = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t trying = 0;
+  std::uint64_t established = 0;
+  std::vector<std::uint64_t> proxy_rejected;
+  std::vector<std::uint64_t> proxy_stateful;
+  std::vector<std::uint64_t> proxy_stateless;
+};
+
+Snapshot take_snapshot(TestBed& bed) {
+  Snapshot s;
+  s.completed = bed.total_completed_calls();
+  s.attempted = bed.total_attempted_calls();
+  for (const auto& uac : bed.uacs()) {
+    const UacMetrics& m = uac->metrics();
+    s.failed += m.calls_failed;
+    s.busy_500 += m.busy_500_received;
+    s.retransmissions += m.retransmissions;
+    s.trying += m.trying_received;
+    s.established += m.calls_established;
+  }
+  for (const auto& proxy : bed.proxies()) {
+    const proxy::ProxyStats& p = proxy->stats();
+    s.proxy_rejected.push_back(p.rejected_busy);
+    s.proxy_stateful.push_back(p.forwarded_stateful);
+    s.proxy_stateless.push_back(p.forwarded_stateless);
+  }
+  return s;
+}
+
+}  // namespace
+
+PointResult measure_point(const BedFactory& factory, double offered_cps,
+                          const MeasureOptions& options) {
+  std::unique_ptr<TestBed> bed = factory(offered_cps);
+  sim::Simulator& sim = bed->sim();
+
+  bed->start_load();
+  sim.run_until(options.warmup);
+
+  const Snapshot before = take_snapshot(*bed);
+  std::vector<sim::UtilizationProbe> probes;
+  probes.reserve(bed->proxies().size());
+  for (const auto& proxy : bed->proxies()) {
+    probes.emplace_back(proxy->cpu(), sim);
+  }
+  for (auto& uac : bed->uacs()) {
+    uac->metrics().setup_time_ms.reset();
+  }
+
+  sim.run_until(options.warmup + options.measure);
+  const Snapshot after = take_snapshot(*bed);
+  const double secs = options.measure.to_seconds();
+
+  PointResult result;
+  result.offered_cps = offered_cps;
+  result.throughput_cps =
+      static_cast<double>(after.completed - before.completed) / secs;
+  result.attempted_cps =
+      static_cast<double>(after.attempted - before.attempted) / secs;
+  result.goodput_ratio =
+      result.attempted_cps > 0.0
+          ? result.throughput_cps / result.attempted_cps
+          : 0.0;
+  result.calls_failed = after.failed - before.failed;
+  result.busy_500 = after.busy_500 - before.busy_500;
+  result.retransmissions = after.retransmissions - before.retransmissions;
+  result.trying_received = after.trying - before.trying;
+  result.calls_established_uac = after.established - before.established;
+
+  // Setup-time distribution: aggregate across UACs (histograms were reset
+  // at the window start).
+  Histogram merged(10000.0, 2000);
+  double weighted_mean = 0.0;
+  std::size_t samples = 0;
+  for (const auto& uac : bed->uacs()) {
+    const Histogram& h = uac->metrics().setup_time_ms;
+    weighted_mean += h.mean() * static_cast<double>(h.count());
+    samples += h.count();
+  }
+  if (samples > 0) {
+    result.setup_ms_mean = weighted_mean / static_cast<double>(samples);
+  }
+  // Percentiles from the largest UAC histogram when several exist (they
+  // see statistically identical traffic); exact merge is unnecessary.
+  const Histogram* biggest = nullptr;
+  for (const auto& uac : bed->uacs()) {
+    const Histogram& h = uac->metrics().setup_time_ms;
+    if (!biggest || h.count() > biggest->count()) biggest = &h;
+  }
+  if (biggest != nullptr && biggest->count() > 0) {
+    result.setup_ms_p50 = biggest->quantile(0.50);
+    result.setup_ms_p90 = biggest->quantile(0.90);
+    result.setup_ms_p99 = biggest->quantile(0.99);
+  }
+
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    result.proxy_utilization.push_back(probes[i].utilization());
+    result.proxy_rejected.push_back(after.proxy_rejected[i] -
+                                    before.proxy_rejected[i]);
+    result.proxy_stateful.push_back(after.proxy_stateful[i] -
+                                    before.proxy_stateful[i]);
+    result.proxy_stateless.push_back(after.proxy_stateless[i] -
+                                     before.proxy_stateless[i]);
+  }
+  return result;
+}
+
+SweepResult sweep(const BedFactory& factory, double lo, double hi,
+                  double step, const MeasureOptions& options,
+                  bool early_stop) {
+  SweepResult result;
+  int declining = 0;
+  for (double offered = lo; offered <= hi + 1e-9; offered += step) {
+    PointResult point = measure_point(factory, offered, options);
+    if (point.throughput_cps > result.max_throughput_cps) {
+      result.max_throughput_cps = point.throughput_cps;
+      result.offered_at_max = offered;
+      declining = 0;
+    } else if (point.throughput_cps < 0.98 * result.max_throughput_cps) {
+      ++declining;
+    }
+    result.points.push_back(std::move(point));
+    if (early_stop && declining >= 2) break;
+  }
+  return result;
+}
+
+double find_saturation(const BedFactory& factory, double lo, double hi,
+                       double step, const MeasureOptions& options) {
+  return sweep(factory, lo, hi, step, options, /*early_stop=*/true)
+      .max_throughput_cps;
+}
+
+}  // namespace svk::workload

@@ -1,0 +1,74 @@
+// Measurement runner: drives a TestBed through warmup + measurement
+// windows and extracts the paper's metrics (throughput at the UAS, setup
+// times at the UAC, per-proxy utilization and rejection counts); sweeps
+// offered load to find saturation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "workload/testbed.hpp"
+
+namespace svk::workload {
+
+struct MeasureOptions {
+  SimTime warmup = SimTime::seconds(2.0);
+  SimTime measure = SimTime::seconds(5.0);
+};
+
+/// One (offered load -> observed behaviour) sample.
+struct PointResult {
+  double offered_cps = 0.0;
+  double throughput_cps = 0.0;  // calls completed at UASes per second
+  double attempted_cps = 0.0;
+  /// Fraction of attempted calls that completed during the window.
+  double goodput_ratio = 0.0;
+
+  double setup_ms_mean = 0.0;
+  double setup_ms_p50 = 0.0;
+  double setup_ms_p90 = 0.0;
+  double setup_ms_p99 = 0.0;
+
+  std::uint64_t calls_failed = 0;
+  std::uint64_t busy_500 = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t trying_received = 0;
+  std::uint64_t calls_established_uac = 0;
+
+  std::vector<double> proxy_utilization;       // per proxy, in [0,1]
+  std::vector<std::uint64_t> proxy_rejected;   // 500s sent per proxy
+  std::vector<std::uint64_t> proxy_stateful;   // stateful forwards per proxy
+  std::vector<std::uint64_t> proxy_stateless;  // stateless forwards per proxy
+};
+
+/// Builds a fresh, fully wired TestBed whose UACs offer `offered_cps` total.
+using BedFactory =
+    std::function<std::unique_ptr<TestBed>(double offered_cps)>;
+
+/// Runs one load point: warmup, then a measurement window.
+[[nodiscard]] PointResult measure_point(const BedFactory& factory,
+                                        double offered_cps,
+                                        const MeasureOptions& options = {});
+
+struct SweepResult {
+  std::vector<PointResult> points;
+  double max_throughput_cps = 0.0;
+  double offered_at_max = 0.0;
+};
+
+/// Sweeps offered load from `lo` to `hi` in steps of `step`. When
+/// `early_stop` is set, stops after the throughput curve has clearly
+/// flattened past its maximum (saves time in saturation searches).
+[[nodiscard]] SweepResult sweep(const BedFactory& factory, double lo,
+                                double hi, double step,
+                                const MeasureOptions& options = {},
+                                bool early_stop = false);
+
+/// Convenience: the maximum sustained throughput of the topology.
+[[nodiscard]] double find_saturation(const BedFactory& factory, double lo,
+                                     double hi, double step,
+                                     const MeasureOptions& options = {});
+
+}  // namespace svk::workload

@@ -1,0 +1,78 @@
+#include "workload/testbed.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace svk::workload {
+
+TestBed::TestBed(std::uint64_t seed)
+    : rng_(seed),
+      location_(std::make_shared<proxy::LocationService>()),
+      network_(sim_, rng_.split(0xAE7)) {
+  // 250us per hop one-way gives the ~1.5ms UAC<->UAS round trip the paper
+  // reports on its Gigabit segment (3 hops each way).
+  network_.set_default_link(sim::LinkParams{SimTime::micros(250),
+                                            SimTime{}, 0.0});
+}
+
+Address TestBed::declare_host(const std::string& host) {
+  if (const auto existing = registry_.resolve(host)) return *existing;
+  const Address addr{next_address_++};
+  registry_.add(host, addr);
+  return addr;
+}
+
+proxy::ProxyServer& TestBed::add_proxy(
+    proxy::ProxyConfig config, proxy::RouteTable routes,
+    std::unique_ptr<proxy::StatePolicy> policy) {
+  config.address = declare_host(config.host);
+  proxies_.push_back(std::make_unique<proxy::ProxyServer>(
+      sim_, network_, registry_, location_, std::move(routes),
+      std::move(policy), std::move(config)));
+  return *proxies_.back();
+}
+
+Uas& TestBed::add_uas(UasConfig config) {
+  config.address = declare_host(config.host);
+  uases_.push_back(std::make_unique<Uas>(sim_, network_, config));
+  return *uases_.back();
+}
+
+Uac& TestBed::add_uac(UacConfig config) {
+  config.address = declare_host(config.host);
+  uacs_.push_back(std::make_unique<Uac>(
+      sim_, network_, rng_.split(0x0AC + uacs_.size()), std::move(config)));
+  return *uacs_.back();
+}
+
+void TestBed::register_users(const std::string& domain, int count,
+                             const std::vector<std::string>& uas_hosts) {
+  assert(!uas_hosts.empty());
+  for (int i = 0; i < count; ++i) {
+    const std::string aor = "user" + std::to_string(i) + "@" + domain;
+    const std::string& uas_host = uas_hosts[i % uas_hosts.size()];
+    location_->register_binding(aor, sip::Uri("", uas_host));
+  }
+}
+
+void TestBed::start_load() {
+  for (auto& uac : uacs_) uac->start();
+}
+
+void TestBed::stop_load() {
+  for (auto& uac : uacs_) uac->stop();
+}
+
+std::uint64_t TestBed::total_completed_calls() const {
+  std::uint64_t total = 0;
+  for (const auto& uas : uases_) total += uas->metrics().calls_completed;
+  return total;
+}
+
+std::uint64_t TestBed::total_attempted_calls() const {
+  std::uint64_t total = 0;
+  for (const auto& uac : uacs_) total += uac->metrics().calls_attempted;
+  return total;
+}
+
+}  // namespace svk::workload

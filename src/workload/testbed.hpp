@@ -1,0 +1,86 @@
+// TestBed — assembles a complete simulated deployment: network, proxies
+// with their policies and route tables, UAS farms, UAC load generators,
+// user registrations. One TestBed = one experiment run (fresh simulator,
+// deterministic for a given seed).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proxy/host_registry.hpp"
+#include "proxy/location.hpp"
+#include "proxy/proxy.hpp"
+#include "sim/simulator.hpp"
+#include "workload/uac.hpp"
+#include "workload/uas.hpp"
+
+namespace svk::workload {
+
+/// Factory for the per-proxy state policy, invoked once per proxy.
+using PolicyFactory =
+    std::function<std::unique_ptr<proxy::StatePolicy>(std::size_t proxy_idx)>;
+
+class TestBed {
+ public:
+  explicit TestBed(std::uint64_t seed = 1);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] proxy::SipNetwork& network() { return network_; }
+  [[nodiscard]] proxy::HostRegistry& registry() { return registry_; }
+  [[nodiscard]] const std::shared_ptr<proxy::LocationService>& location()
+      const {
+    return location_;
+  }
+
+  /// Allocates an address and binds `host` to it in the registry.
+  Address declare_host(const std::string& host);
+
+  /// Adds a proxy. The route table refers to hosts by name (declare them
+  /// first or reference UAS/proxy hosts added earlier).
+  proxy::ProxyServer& add_proxy(proxy::ProxyConfig config,
+                                proxy::RouteTable routes,
+                                std::unique_ptr<proxy::StatePolicy> policy);
+
+  Uas& add_uas(UasConfig config);
+  Uac& add_uac(UacConfig config);
+
+  /// Registers `count` users user0..user{count-1}@domain, binding them
+  /// round-robin to the given UAS hosts.
+  void register_users(const std::string& domain, int count,
+                      const std::vector<std::string>& uas_hosts);
+
+  [[nodiscard]] std::vector<std::unique_ptr<proxy::ProxyServer>>& proxies() {
+    return proxies_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<Uac>>& uacs() { return uacs_; }
+  [[nodiscard]] std::vector<std::unique_ptr<Uas>>& uases() { return uases_; }
+
+  /// Starts every UAC.
+  void start_load();
+  void stop_load();
+
+  /// Sum of UAS completed calls (the paper's throughput counter).
+  [[nodiscard]] std::uint64_t total_completed_calls() const;
+  /// Sum of UAC attempted calls.
+  [[nodiscard]] std::uint64_t total_attempted_calls() const;
+
+  [[nodiscard]] Rng split_rng(std::uint64_t salt) {
+    return rng_.split(salt);
+  }
+
+ private:
+  sim::Simulator sim_;
+  Rng rng_;
+  proxy::HostRegistry registry_;
+  std::shared_ptr<proxy::LocationService> location_;
+  proxy::SipNetwork network_;
+  std::uint32_t next_address_{1};
+  std::vector<std::unique_ptr<proxy::ProxyServer>> proxies_;
+  std::vector<std::unique_ptr<Uac>> uacs_;
+  std::vector<std::unique_ptr<Uas>> uases_;
+};
+
+}  // namespace svk::workload

@@ -1,0 +1,386 @@
+// Unit tests for the common support library: SimTime, StrongId, Result,
+// Rng, statistics and MD5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/md5.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace svk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimTime
+// ---------------------------------------------------------------------------
+
+TEST(SimTimeTest, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::millis(1), SimTime::micros(1000));
+  EXPECT_EQ(SimTime::micros(1), SimTime::nanos(1000));
+  EXPECT_EQ(SimTime::seconds(1.0), SimTime::millis(1000));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::millis(500);
+  const SimTime b = SimTime::millis(250);
+  EXPECT_EQ((a + b).to_millis(), 750.0);
+  EXPECT_EQ((a - b).to_millis(), 250.0);
+  EXPECT_EQ((2 * a).to_seconds(), 1.0);
+  EXPECT_EQ((a * 4).to_seconds(), 2.0);
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  SimTime t;
+  t += SimTime::seconds(1.5);
+  t -= SimTime::millis(500);
+  EXPECT_EQ(t, SimTime::seconds(1.0));
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_GT(SimTime::seconds(1.0), SimTime::micros(999999));
+  EXPECT_LE(SimTime{}, SimTime{});
+}
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime{}.to_seconds(), 0.0);
+}
+
+TEST(SimTimeTest, MaxActsAsNever) {
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e9));
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::seconds(1.5).to_string(), "1.500s");
+  EXPECT_EQ(SimTime::millis(250).to_string(), "250.000ms");
+  EXPECT_EQ(SimTime::micros(10).to_string(), "10.000us");
+  EXPECT_EQ(SimTime::nanos(42).to_string(), "42ns");
+}
+
+// ---------------------------------------------------------------------------
+// StrongId
+// ---------------------------------------------------------------------------
+
+TEST(StrongIdTest, EqualityAndOrdering) {
+  const Address a{1};
+  const Address b{2};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(Address{1}, a);
+}
+
+TEST(StrongIdTest, DistinctTagTypesDoNotMix) {
+  // Compile-time property: Address and NodeId are unrelated types.
+  static_assert(!std::is_convertible_v<Address, NodeId>);
+  static_assert(!std::is_same_v<Address, NodeId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::set<Address> set;
+  std::hash<Address> hasher;
+  EXPECT_EQ(hasher(Address{7}), hasher(Address{7}));
+  set.insert(Address{1});
+  set.insert(Address{1});
+  EXPECT_EQ(set.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Result
+// ---------------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r = make_error("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "boom");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRangeAndRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> buckets(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kN / 10, kN / 100);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(RngTest, SplitStreamsDecorrelated) {
+  Rng parent(31);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next() == child2.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ZeroSeedIsNotDegenerate) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(rng.next());
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineStats
+// ---------------------------------------------------------------------------
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownSequence) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, SingleSample) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStatsTest, ResetClears) {
+  OnlineStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Histogram h(100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h(10.0, 10);
+  h.add(2.0);
+  h.add(4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(10.0, 10);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h(10.0, 10);
+  h.add(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedRate
+// ---------------------------------------------------------------------------
+
+TEST(WindowedRateTest, RateOverWindow) {
+  WindowedRate rate;
+  rate.record(100);
+  const double r =
+      rate.close_window(SimTime::seconds(0.0), SimTime::seconds(2.0));
+  EXPECT_DOUBLE_EQ(r, 50.0);
+  EXPECT_EQ(rate.raw_count(), 0u);  // window close resets
+}
+
+TEST(WindowedRateTest, ZeroWindowYieldsZero) {
+  WindowedRate rate;
+  rate.record(5);
+  EXPECT_EQ(rate.close_window(SimTime::seconds(1.0), SimTime::seconds(1.0)),
+            0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel original = Logger::level();
+  Logger::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+  Logger::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kError));
+  Logger::set_level(original);
+}
+
+TEST(LoggingTest, MacroEvaluatesLazily) {
+  const LogLevel original = Logger::level();
+  Logger::set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  SVK_LOG(kDebug, expensive());
+  EXPECT_EQ(evaluations, 0);  // suppressed levels pay only a branch
+  Logger::set_level(original);
+}
+
+// ---------------------------------------------------------------------------
+// MD5 (RFC 1321 test suite)
+// ---------------------------------------------------------------------------
+
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456"
+               "789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(
+      Md5::hex("1234567890123456789012345678901234567890123456789012345678"
+               "9012345678901234567890"),
+      "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  Md5 h;
+  h.update("mess");
+  h.update("age ");
+  h.update("digest");
+  EXPECT_EQ(to_hex(h.digest()), Md5::hex("message digest"));
+}
+
+TEST(Md5Test, BlockBoundaryLengths) {
+  // Lengths around the 56/64-byte padding boundaries exercise both padding
+  // branches.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 128u}) {
+    const std::string data(len, 'x');
+    Md5 incremental;
+    incremental.update(data.substr(0, len / 2));
+    incremental.update(data.substr(len / 2));
+    EXPECT_EQ(to_hex(incremental.digest()), Md5::hex(data)) << len;
+  }
+}
+
+}  // namespace
+}  // namespace svk

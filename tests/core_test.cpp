@@ -1,0 +1,420 @@
+// Unit tests for the SERvartuka controller (Algorithms 1 & 2): decision
+// logic, myshare computation against the closed-form operating point,
+// overload signalling and recovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/controller.hpp"
+
+namespace svk::core {
+namespace {
+
+using proxy::PathInfo;
+using proxy::RequestContext;
+using proxy::StateDecision;
+
+/// Request-rate thresholds chosen for easy arithmetic:
+/// alpha = 1/100, beta = 1/200, 1/(alpha-beta) = 200.
+ControllerConfig small_config() {
+  ControllerConfig config;
+  config.t_sf = 100.0;
+  config.t_sl = 200.0;
+  config.period = SimTime::seconds(1.0);
+  // Unit tests check the paper's arithmetic exactly: no headroom.
+  config.target_utilization = 1.0;
+  return config;
+}
+
+RequestContext ctx(std::size_t path, bool delegable, bool already_stateful) {
+  RequestContext c;
+  c.path_index = path;
+  c.delegable = delegable;
+  c.already_stateful = already_stateful;
+  return c;
+}
+
+/// Drives `controller` through one full measurement window: a priming tick,
+/// `n_new` not-yet-stateful and `n_fasf` already-stateful requests on path
+/// 0, then the closing tick. Returns decisions made during the window.
+struct WindowOutcome {
+  int stateful = 0;
+  int stateless = 0;
+};
+
+WindowOutcome run_window(Controller& controller, int n_new, int n_fasf,
+                         bool delegable, double t0 = 0.0) {
+  controller.on_tick(SimTime::seconds(t0));  // open window
+  WindowOutcome out;
+  for (int i = 0; i < n_fasf; ++i) {
+    controller.decide(ctx(0, delegable, true));
+    ++out.stateless;
+  }
+  for (int i = 0; i < n_new; ++i) {
+    if (controller.decide(ctx(0, delegable, false)) ==
+        StateDecision::kStateful) {
+      ++out.stateful;
+    } else {
+      ++out.stateless;
+    }
+  }
+  controller.on_tick(SimTime::seconds(t0 + 1.0));  // close window
+  return out;
+}
+
+TEST(ControllerConfigTest, FromCallRatesDoubles) {
+  const auto config = ControllerConfig::from_call_rates(10360.0, 12300.0);
+  EXPECT_DOUBLE_EQ(config.t_sf, 20720.0);
+  EXPECT_DOUBLE_EQ(config.t_sl, 24600.0);
+}
+
+TEST(ControllerTest, NameAndTickPeriod) {
+  Controller controller(small_config());
+  EXPECT_EQ(controller.name(), "servartuka");
+  EXPECT_EQ(controller.tick_period(), SimTime::seconds(1.0));
+  EXPECT_FALSE(controller.static_decision().has_value());
+}
+
+TEST(ControllerTest, RegisterPathsCopiesDelegability) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}},
+                             PathInfo{false, Address{}}});
+  ASSERT_EQ(controller.paths().size(), 2u);
+  EXPECT_TRUE(controller.paths()[0].delegable);
+  EXPECT_FALSE(controller.paths()[1].delegable);
+}
+
+TEST(ControllerTest, AlreadyStatefulAlwaysForwardedStateless) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(controller.decide(ctx(0, true, true)),
+              StateDecision::kStateless);
+  }
+}
+
+TEST(ControllerTest, ExitPathAlwaysStateful) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{false, Address{}}});
+  // Even a huge count never goes stateless on an exit path.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(controller.decide(ctx(0, false, false)),
+              StateDecision::kStateful);
+  }
+}
+
+TEST(ControllerTest, BelowThresholdKeepsEverythingStateful) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  // 80 < t_sf = 100: Eq. 8 case 1.
+  const WindowOutcome w1 = run_window(controller, 80, 0, true);
+  EXPECT_EQ(w1.stateful, 80);
+  // Next window keeps unconstrained myshare.
+  const WindowOutcome w2 = run_window(controller, 90, 0, true, 1.0);
+  EXPECT_EQ(w2.stateful, 90);
+  EXPECT_FALSE(controller.self_overloaded());
+}
+
+TEST(ControllerTest, AboveThresholdRelinquishesToBudget) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  // Window 1 at 150 req/s (> t_sf): closing tick computes
+  // budget = (1 - 150/200) / (1/100 - 1/200) = 50.
+  run_window(controller, 150, 0, true);
+  EXPECT_NEAR(controller.last_total_rate(), 150.0, 1e-9);
+  EXPECT_NEAR(controller.last_budget_rate(), 50.0, 1e-9);
+  EXPECT_NEAR(controller.paths()[0].myshare, 50.0, 1e-6);
+
+  // Window 2 at the same load: ~50 of 150 handled statefully.
+  const WindowOutcome w2 = run_window(controller, 150, 0, true, 1.0);
+  EXPECT_NEAR(w2.stateful, 50, 2);
+  EXPECT_NEAR(w2.stateless, 100, 2);
+}
+
+TEST(ControllerTest, MyshareMatchesClosedFormWithFasfTraffic) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  // 100 new + 60 already-stateful = 160 total (> t_sf). Single delegable
+  // path: share = c - beta*rate/(alpha-beta) with c = 1/(alpha-beta) = 200:
+  // share = 200 - (160/200)*200 = 40.
+  run_window(controller, 100, 60, true);
+  EXPECT_NEAR(controller.paths()[0].myshare, 40.0, 1e-6);
+}
+
+TEST(ControllerTest, TwoDelegablePathsShareBudget) {
+  Controller controller(small_config());
+  controller.register_paths(
+      {PathInfo{true, Address{1}}, PathInfo{true, Address{2}}});
+  controller.on_tick(SimTime::seconds(0.0));
+  // 90 requests on path 0, 60 on path 1: total 150 > 100.
+  for (int i = 0; i < 90; ++i) controller.decide(ctx(0, true, false));
+  for (int i = 0; i < 60; ++i) controller.decide(ctx(1, true, false));
+  controller.on_tick(SimTime::seconds(1.0));
+  // c = 200, k = 2: share_q = 100 - beta*rate_q/(alpha-beta).
+  EXPECT_NEAR(controller.paths()[0].myshare, 100.0 - 90.0, 1e-6);
+  EXPECT_NEAR(controller.paths()[1].myshare, 100.0 - 60.0, 1e-6);
+  // Aggregate equals the budget: (1 - 150/200)/0.005 = 50.
+  EXPECT_NEAR(controller.paths()[0].myshare + controller.paths()[1].myshare,
+              controller.last_budget_rate(), 1e-6);
+}
+
+TEST(ControllerTest, OverloadedPathForcedShare) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.on_overload_signal(0, true, 30.0);
+  EXPECT_TRUE(controller.paths()[0].overloaded);
+  // 150 req/s with downstream frozen at 30: this node must keep
+  // 150 - 30 = 120 statefully (its myshare), though that exceeds budget 50.
+  run_window(controller, 150, 0, true);
+  EXPECT_NEAR(controller.paths()[0].myshare, 120.0, 1e-6);
+  EXPECT_TRUE(controller.self_overloaded());
+}
+
+TEST(ControllerTest, OverloadSignalCarriesSubtreeCapacity) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  bool sent = false;
+  bool sent_on = false;
+  double sent_rate = 0.0;
+  controller.send_overload = [&](bool on, double rate) {
+    sent = true;
+    sent_on = on;
+    sent_rate = rate;
+  };
+  controller.on_overload_signal(0, true, 30.0);
+  run_window(controller, 150, 0, true);
+  ASSERT_TRUE(sent);
+  EXPECT_TRUE(sent_on);
+  // Own budget (50) + frozen downstream (30).
+  EXPECT_NEAR(sent_rate, 80.0, 1e-6);
+}
+
+TEST(ControllerTest, OverloadSignalSentOnceNotRepeatedly) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{false, Address{}}});
+  int signals = 0;
+  controller.send_overload = [&](bool, double) { ++signals; };
+  run_window(controller, 150, 0, false);
+  run_window(controller, 150, 0, false, 1.0);
+  run_window(controller, 150, 0, false, 2.0);
+  EXPECT_EQ(signals, 1);
+}
+
+TEST(ControllerTest, ExitNodeOverloadsWhenRequiredExceedsBudget) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{false, Address{}}});
+  bool overload_sent = false;
+  controller.send_overload = [&](bool on, double) { overload_sent = on; };
+  // 150 req/s all needing state here; budget is 50 -> overload.
+  run_window(controller, 150, 0, false);
+  EXPECT_TRUE(controller.self_overloaded());
+  EXPECT_TRUE(overload_sent);
+}
+
+TEST(ControllerTest, ExitNodeWithEnoughFasfStaysHealthy) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{false, Address{}}});
+  // 150 req/s but 110 already stateful: required = 40 < budget 50.
+  run_window(controller, 40, 110, false);
+  EXPECT_FALSE(controller.self_overloaded());
+}
+
+TEST(ControllerTest, RecoveryClearsOverloadWithHysteresis) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{false, Address{}}});
+  int on_signals = 0;
+  int off_signals = 0;
+  controller.send_overload = [&](bool on, double) {
+    (on ? on_signals : off_signals)++;
+  };
+  run_window(controller, 150, 0, false);
+  EXPECT_TRUE(controller.self_overloaded());
+  // Load drops below t_sf: clears immediately via Eq. 8 case 1.
+  run_window(controller, 80, 0, false, 1.0);
+  EXPECT_FALSE(controller.self_overloaded());
+  EXPECT_EQ(on_signals, 1);
+  EXPECT_EQ(off_signals, 1);
+}
+
+TEST(ControllerTest, RecoveryAboveTsfViaFasfReduction) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{false, Address{}}});
+  int off_signals = 0;
+  controller.send_overload = [&](bool on, double) {
+    if (!on) ++off_signals;
+  };
+  run_window(controller, 150, 0, false);
+  EXPECT_TRUE(controller.self_overloaded());
+  // Still 150 total, but now 120 arrive already-stateful: required = 30 <
+  // 0.85 * budget(50) -> recovery even above t_sf.
+  run_window(controller, 30, 120, false, 1.0);
+  EXPECT_FALSE(controller.self_overloaded());
+  EXPECT_EQ(off_signals, 1);
+}
+
+TEST(ControllerTest, OverloadClearResetsFrozenAllowance) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.on_overload_signal(0, true, 30.0);
+  EXPECT_NEAR(controller.paths()[0].frozen_c_asf, 30.0, 1e-12);
+  controller.on_overload_signal(0, false, 0.0);
+  EXPECT_FALSE(controller.paths()[0].overloaded);
+  EXPECT_EQ(controller.paths()[0].frozen_c_asf, 0.0);
+}
+
+TEST(ControllerTest, UnknownPathGrowsDefensively) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  // A request on a path index the table never announced.
+  EXPECT_EQ(controller.decide(ctx(5, true, false)), StateDecision::kStateful);
+  EXPECT_GE(controller.paths().size(), 6u);
+}
+
+TEST(ControllerTest, WindowCountersResetEachTick) {
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  run_window(controller, 150, 0, true);
+  EXPECT_EQ(controller.paths()[0].msg_count, 0u);
+  EXPECT_EQ(controller.paths()[0].sf_count, 0u);
+  EXPECT_EQ(controller.paths()[0].fasf_count, 0u);
+}
+
+TEST(ControllerTest, MixedExitAndDelegablePaths) {
+  Controller controller(small_config());
+  controller.register_paths(
+      {PathInfo{false, Address{}}, PathInfo{true, Address{2}}});
+  controller.on_tick(SimTime::seconds(0.0));
+  // 40 exit (all stateful, mandatory) + 110 delegable = 150 total.
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(controller.decide(ctx(0, false, false)),
+              StateDecision::kStateful);
+  }
+  for (int i = 0; i < 110; ++i) controller.decide(ctx(1, true, false));
+  controller.on_tick(SimTime::seconds(1.0));
+  // c = 200 - alpha*40/(alpha-beta) = 200 - 0.4*200 = 120.
+  // share(path1) = 120 - beta*110/(alpha-beta) = 120 - 110 = 10.
+  // Sanity: budget 50 = mandatory exit 40 + delegable share 10.
+  EXPECT_NEAR(controller.paths()[1].myshare, 10.0, 1e-6);
+  EXPECT_TRUE(std::isinf(controller.paths()[0].myshare));
+  EXPECT_FALSE(controller.self_overloaded());
+}
+
+TEST(ControllerTest, ShareIsSpreadEvenlyAcrossTheWindow) {
+  // The error-diffusion realization must interleave stateful decisions
+  // rather than front-loading them: in any prefix of the window the
+  // realized count stays within one of the ideal fraction.
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  run_window(controller, 150, 0, true);  // learn: share 50 of 150
+  controller.on_tick(SimTime::seconds(1.0));
+
+  int stateful_so_far = 0;
+  for (int i = 1; i <= 150; ++i) {
+    if (controller.decide(ctx(0, true, false)) ==
+        StateDecision::kStateful) {
+      ++stateful_so_far;
+    }
+    const double ideal = i * (50.0 / 150.0);
+    EXPECT_NEAR(stateful_so_far, ideal, 1.001) << "prefix " << i;
+  }
+}
+
+TEST(ControllerTest, SmoothingFiltersRateNoise) {
+  ControllerConfig config = small_config();
+  config.share_smoothing_gain = 0.4;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  // Converge at 150 req/s (share 50)...
+  run_window(controller, 150, 0, true);
+  run_window(controller, 150, 0, true, 1.0);
+  EXPECT_NEAR(controller.paths()[0].myshare, 50.0, 1.0);
+  // ...then one noisy window at 130 (raw share would jump to 70): the
+  // smoothed share must move only ~gain of the way.
+  run_window(controller, 130, 0, true, 2.0);
+  EXPECT_NEAR(controller.paths()[0].myshare, 50.0 + 0.4 * 20.0, 1.0);
+}
+
+TEST(ControllerTest, SmoothingResetsBelowThreshold) {
+  ControllerConfig config = small_config();
+  config.share_smoothing_gain = 0.4;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  run_window(controller, 150, 0, true);      // share 50
+  run_window(controller, 80, 0, true, 1.0);  // below t_sf: unconstrained
+  EXPECT_TRUE(std::isinf(controller.paths()[0].myshare));
+  // Back above threshold: the stale EWMA state must not leak through.
+  run_window(controller, 150, 0, true, 2.0);
+  EXPECT_NEAR(controller.paths()[0].myshare, 50.0, 1.0);
+}
+
+TEST(ControllerTest, UtilizationFeedbackBacksOffWhenHot) {
+  ControllerConfig config = small_config();
+  config.utilization_feedback = true;
+  config.target_utilization = 0.95;  // small_config pins it to 1.0
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  EXPECT_DOUBLE_EQ(controller.share_correction(), 1.0);
+  // Report a hot CPU each window: the correction must decrease.
+  for (int w = 0; w < 5; ++w) {
+    controller.observed_utilization = 1.0;
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  EXPECT_LT(controller.share_correction(), 0.7);
+  const double low_point = controller.share_correction();
+  // Cool CPU: slow additive recovery.
+  for (int w = 5; w < 10; ++w) {
+    controller.observed_utilization = 0.5;
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  EXPECT_GT(controller.share_correction(), low_point);
+}
+
+TEST(ControllerTest, UtilizationFeedbackRespondsToBacklog) {
+  ControllerConfig config = small_config();
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.observed_utilization = 0.5;       // CPU looks fine...
+  controller.observed_backlog_fraction = 0.9;  // ...but the queue is deep
+  run_window(controller, 150, 0, true);
+  run_window(controller, 150, 0, true, 1.0);
+  EXPECT_LT(controller.share_correction(), 1.0);
+}
+
+TEST(ControllerTest, FeedbackDisabledLeavesCorrectionAtOne) {
+  ControllerConfig config = small_config();
+  config.utilization_feedback = false;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.observed_utilization = 1.0;
+  controller.observed_backlog_fraction = 1.0;
+  run_window(controller, 150, 0, true);
+  run_window(controller, 150, 0, true, 1.0);
+  EXPECT_DOUBLE_EQ(controller.share_correction(), 1.0);
+}
+
+TEST(ControllerTest, TargetUtilizationScalesBudget) {
+  ControllerConfig config = small_config();
+  config.target_utilization = 0.9;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  // budget = (0.9 - 150/200) / 0.005 = 30 (vs 50 at u=1).
+  run_window(controller, 150, 0, true);
+  EXPECT_NEAR(controller.last_budget_rate(), 30.0, 1e-9);
+  EXPECT_NEAR(controller.paths()[0].myshare, 30.0, 1e-6);
+}
+
+TEST(ControllerTest, NegativeShareClampsToZero) {
+  Controller controller(small_config());
+  controller.register_paths(
+      {PathInfo{false, Address{}}, PathInfo{true, Address{2}}});
+  controller.on_tick(SimTime::seconds(0.0));
+  // Exit flow alone exceeds the budget: delegable share must clamp to 0.
+  for (int i = 0; i < 80; ++i) controller.decide(ctx(0, false, false));
+  for (int i = 0; i < 80; ++i) controller.decide(ctx(1, true, false));
+  controller.on_tick(SimTime::seconds(1.0));
+  EXPECT_EQ(controller.paths()[1].myshare, 0.0);
+}
+
+}  // namespace
+}  // namespace svk::core

@@ -1,0 +1,271 @@
+// Tests for the registrar role (REGISTER, binding lifetimes, refresh) and
+// call cancellation (CANCEL through stateful and stateless proxies).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "proxy/proxy.hpp"
+#include "workload/testbed.hpp"
+#include "workload/uac.hpp"
+#include "workload/uas.hpp"
+
+namespace svk::workload {
+namespace {
+
+using proxy::ProxyConfig;
+using proxy::RouteTable;
+
+/// One proxy serving example.com locally; a UAS and a UAC. Registration is
+/// NOT pre-provisioned — tests drive it via real REGISTERs.
+class RegistrarFixture : public ::testing::Test {
+ protected:
+  void build(bool stateful = true, SimTime answer_delay = SimTime{}) {
+    bed = std::make_unique<TestBed>(5);
+    proxy_addr = bed->declare_host("proxy0.test");
+    RouteTable routes;
+    routes.add_local("example.com");
+    ProxyConfig config;
+    config.host = "proxy0.test";
+    std::unique_ptr<proxy::StatePolicy> policy;
+    if (stateful) {
+      policy = std::make_unique<proxy::AlwaysStateful>();
+    } else {
+      policy = std::make_unique<proxy::AlwaysStateless>();
+    }
+    proxy = &bed->add_proxy(std::move(config), std::move(routes),
+                            std::move(policy));
+    UasConfig uas_config;
+    uas_config.host = "uas0.example.com";
+    uas_config.answer_delay = answer_delay;
+    uas = &bed->add_uas(uas_config);
+  }
+
+  Uac& add_caller(double rate, double cancel_probability = 0.0,
+                  SimTime abandon_after = SimTime::seconds(2.0)) {
+    UacConfig config;
+    config.host = "uac0.client.test";
+    config.first_hop = proxy_addr;
+    config.target_domain = "example.com";
+    config.num_callees = 1;  // user0@example.com
+    config.call_rate_cps = rate;
+    config.cancel_probability = cancel_probability;
+    config.ring_abandon_after = abandon_after;
+    return bed->add_uac(std::move(config));
+  }
+
+  std::unique_ptr<TestBed> bed;
+  Address proxy_addr;
+  proxy::ProxyServer* proxy = nullptr;
+  Uas* uas = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// REGISTER
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistrarFixture, RegisterCreatesBindingAndCallsSucceed) {
+  build();
+  uas->register_with(proxy_addr, "user0@example.com",
+                     SimTime::seconds(3600.0));
+  bed->sim().run_until(SimTime::seconds(0.5));
+  EXPECT_EQ(uas->registrations_confirmed(), 1u);
+  EXPECT_EQ(proxy->stats().registrations, 1u);
+  ASSERT_TRUE(bed->location()->lookup("user0@example.com").has_value());
+
+  Uac& uac = add_caller(10.0);
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(3.0));
+  EXPECT_GT(uac.metrics().calls_completed, 20u);
+  EXPECT_EQ(uac.metrics().calls_failed, 0u);
+}
+
+TEST_F(RegistrarFixture, UnregisteredUserGets404) {
+  build();
+  Uac& uac = add_caller(10.0);
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(uac.metrics().calls_completed, 0u);
+  EXPECT_GT(uac.metrics().calls_failed, 10u);
+  EXPECT_GT(proxy->stats().route_failures, 10u);
+}
+
+TEST_F(RegistrarFixture, BindingExpires) {
+  build();
+  uas->register_with(proxy_addr, "user0@example.com",
+                     SimTime::seconds(2.0));
+  bed->sim().run_until(SimTime::seconds(0.5));
+  ASSERT_TRUE(bed->location()
+                  ->lookup("user0@example.com", bed->sim().now())
+                  .has_value());
+
+  Uac& uac = add_caller(10.0);
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(10.0));
+  // Calls before t=2.5 succeed; later ones 404.
+  EXPECT_GT(uac.metrics().calls_completed, 5u);
+  EXPECT_GT(uac.metrics().calls_failed, 10u);
+  EXPECT_FALSE(bed->location()
+                   ->lookup("user0@example.com", bed->sim().now())
+                   .has_value());
+}
+
+TEST_F(RegistrarFixture, AutoRefreshKeepsBindingAlive) {
+  build();
+  uas->register_with(proxy_addr, "user0@example.com",
+                     SimTime::seconds(2.0), /*auto_refresh=*/true);
+  Uac& uac = add_caller(10.0);
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(10.0));
+  EXPECT_GT(uas->registrations_confirmed(), 3u);  // refreshed repeatedly
+  EXPECT_GT(uac.metrics().calls_completed, 80u);
+  EXPECT_EQ(uac.metrics().calls_failed, 0u);
+}
+
+TEST_F(RegistrarFixture, ZeroExpiresUnregisters) {
+  build();
+  uas->register_with(proxy_addr, "user0@example.com",
+                     SimTime::seconds(3600.0));
+  bed->sim().run_until(SimTime::seconds(0.5));
+  ASSERT_TRUE(bed->location()->lookup("user0@example.com").has_value());
+  uas->register_with(proxy_addr, "user0@example.com", SimTime{});
+  bed->sim().run_until(SimTime::seconds(1.0));
+  EXPECT_FALSE(bed->location()
+                   ->lookup("user0@example.com", bed->sim().now())
+                   .has_value());
+}
+
+TEST_F(RegistrarFixture, RegisterForRemoteDomainIsForwarded) {
+  // Two proxies: p0 routes example.com to p1 (the registrar).
+  bed = std::make_unique<TestBed>(6);
+  const Address p0_addr = bed->declare_host("p0.test");
+  const Address p1_addr = bed->declare_host("p1.test");
+  RouteTable routes0;
+  routes0.add_route("example.com", {p1_addr});
+  ProxyConfig config0;
+  config0.host = "p0.test";
+  bed->add_proxy(std::move(config0), std::move(routes0),
+                 std::make_unique<proxy::AlwaysStateless>());
+  RouteTable routes1;
+  routes1.add_local("example.com");
+  ProxyConfig config1;
+  config1.host = "p1.test";
+  auto& p1 = bed->add_proxy(std::move(config1), std::move(routes1),
+                            std::make_unique<proxy::AlwaysStateful>());
+  UasConfig uas_config;
+  uas_config.host = "uas0.example.com";
+  Uas& remote_uas = bed->add_uas(uas_config);
+
+  remote_uas.register_with(p0_addr, "user0@example.com",
+                           SimTime::seconds(3600.0));
+  bed->sim().run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(remote_uas.registrations_confirmed(), 1u);
+  EXPECT_EQ(p1.stats().registrations, 1u);
+  EXPECT_TRUE(bed->location()->lookup("user0@example.com").has_value());
+}
+
+TEST_F(RegistrarFixture, ReRegistrationReplacesContact) {
+  build();
+  uas->register_with(proxy_addr, "user0@example.com",
+                     SimTime::seconds(3600.0));
+  // A second device registers the same AOR.
+  UasConfig other_config;
+  other_config.host = "uas1.example.com";
+  Uas& other = bed->add_uas(other_config);
+  bed->sim().run_until(SimTime::seconds(0.5));
+  other.register_with(proxy_addr, "user0@example.com",
+                      SimTime::seconds(3600.0));
+  bed->sim().run_until(SimTime::seconds(1.0));
+  const auto binding = bed->location()->lookup("user0@example.com");
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->contact.host(), "uas1.example.com");
+}
+
+// ---------------------------------------------------------------------------
+// CANCEL
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistrarFixture, CancelThroughStatefulProxy) {
+  build(/*stateful=*/true, /*answer_delay=*/SimTime::seconds(5.0));
+  bed->location()->register_binding("user0@example.com",
+                                    sip::Uri("", "uas0.example.com"));
+  Uac& uac = add_caller(10.0, /*cancel_probability=*/1.0,
+                        /*abandon_after=*/SimTime::millis(500));
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(5.0));
+
+  EXPECT_GT(uac.metrics().calls_cancelled, 30u);
+  EXPECT_EQ(uac.metrics().calls_established, 0u);
+  EXPECT_EQ(uac.metrics().calls_failed, 0u);
+  EXPECT_EQ(uas->metrics().cancels_received,
+            uac.metrics().calls_cancelled);
+  EXPECT_EQ(uas->metrics().calls_established, 0u);
+  // Open calls drain: the 487s terminated every INVITE transaction.
+  bed->stop_load();
+  bed->sim().run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(uac.open_calls(), 0u);
+}
+
+TEST_F(RegistrarFixture, CancelThroughStatelessProxy) {
+  build(/*stateful=*/false, /*answer_delay=*/SimTime::seconds(5.0));
+  bed->location()->register_binding("user0@example.com",
+                                    sip::Uri("", "uas0.example.com"));
+  Uac& uac = add_caller(10.0, 1.0, SimTime::millis(500));
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(5.0));
+
+  // The deterministic stateless branch lets the CANCEL match the INVITE
+  // at the UAS even though the proxy kept no state.
+  EXPECT_GT(uac.metrics().calls_cancelled, 30u);
+  EXPECT_EQ(uas->metrics().cancels_received,
+            uac.metrics().calls_cancelled);
+  EXPECT_EQ(uac.metrics().calls_failed, 0u);
+}
+
+TEST_F(RegistrarFixture, CancelLosesRaceWhenAnswerIsImmediate) {
+  build(/*stateful=*/true, /*answer_delay=*/SimTime{});
+  bed->location()->register_binding("user0@example.com",
+                                    sip::Uri("", "uas0.example.com"));
+  // Abandon "after 500ms" — but calls answer in ~2ms, so CANCEL never
+  // fires (send_cancel sees the call established).
+  Uac& uac = add_caller(10.0, 1.0, SimTime::millis(500));
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(5.0));
+  EXPECT_EQ(uac.metrics().calls_cancelled, 0u);
+  EXPECT_GT(uac.metrics().calls_completed, 30u);
+  EXPECT_EQ(uas->metrics().cancels_received, 0u);
+}
+
+TEST_F(RegistrarFixture, MixedCancelAndCompleteTraffic) {
+  build(/*stateful=*/true, /*answer_delay=*/SimTime::millis(800));
+  bed->location()->register_binding("user0@example.com",
+                                    sip::Uri("", "uas0.example.com"));
+  // Half the calls abandon before the 800ms answer.
+  Uac& uac = add_caller(20.0, 0.5, SimTime::millis(400));
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(10.0));
+  bed->stop_load();
+  bed->sim().run_until(SimTime::seconds(15.0));
+
+  EXPECT_GT(uac.metrics().calls_cancelled, 50u);
+  EXPECT_GT(uac.metrics().calls_completed, 50u);
+  EXPECT_EQ(uac.metrics().calls_failed, 0u);
+  EXPECT_EQ(uac.metrics().calls_attempted,
+            uac.metrics().calls_completed + uac.metrics().calls_cancelled);
+  EXPECT_EQ(uac.open_calls(), 0u);
+}
+
+TEST_F(RegistrarFixture, RingingCallsHoldTransactionStateAtProxy) {
+  build(/*stateful=*/true, /*answer_delay=*/SimTime::seconds(3.0));
+  bed->location()->register_binding("user0@example.com",
+                                    sip::Uri("", "uas0.example.com"));
+  Uac& uac = add_caller(10.0);
+  uac.start();
+  bed->sim().run_until(SimTime::seconds(2.0));
+  // ~20 calls ringing: proxy holds a server+client transaction pair each.
+  EXPECT_GT(proxy->transactions().active_count(), 20u);
+  bed->sim().run_until(SimTime::seconds(20.0));
+  EXPECT_GT(uac.metrics().calls_completed, 100u);
+}
+
+}  // namespace
+}  // namespace svk::workload

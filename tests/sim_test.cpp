@@ -1,0 +1,349 @@
+// Unit tests for the discrete-event simulator: event ordering, timers,
+// network links, CPU queue semantics and utilization accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/cpu_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace svk::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime::millis(30), [&] { order.push_back(3); });
+  sim.schedule(SimTime::millis(10), [&] { order.push_back(1); });
+  sim.schedule(SimTime::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::millis(30));
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(SimTime::millis(-5), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), SimTime{});
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(SimTime::millis(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.cancel(0);
+  sim.cancel(99999);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule(SimTime::seconds(i), [&] { ++count; });
+  }
+  sim.run_until(SimTime::seconds(3.5));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), SimTime::seconds(3.5));
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime::millis(1), [&] {
+    order.push_back(1);
+    sim.schedule(SimTime::millis(1), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, ZeroDelayFromWithinEventRunsAtSameTime) {
+  Simulator sim;
+  SimTime inner_time;
+  sim.schedule(SimTime::millis(7), [&] {
+    sim.schedule(SimTime{}, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, SimTime::millis(7));
+}
+
+TEST(SimulatorTest, ExecutedCountCountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.schedule(SimTime::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_count(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicTimer
+// ---------------------------------------------------------------------------
+
+TEST(PeriodicTimerTest, TicksAtPeriod) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, SimTime::seconds(1.0), [&] { ++ticks; });
+  timer.start();
+  sim.run_until(SimTime::seconds(5.5));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(PeriodicTimerTest, StopHalts) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, SimTime::seconds(1.0), [&] { ++ticks; });
+  timer.start();
+  sim.schedule(SimTime::seconds(2.5), [&] { timer.stop(); });
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, DestructionCancels) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer(sim, SimTime::seconds(1.0), [&] { ++ticks; });
+    timer.start();
+    sim.run_until(SimTime::seconds(1.5));
+  }
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(ticks, 1);
+}
+
+TEST(PeriodicTimerTest, StartIsIdempotent) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, SimTime::seconds(1.0), [&] { ++ticks; });
+  timer.start();
+  timer.start();
+  sim.run_until(SimTime::seconds(3.5));
+  EXPECT_EQ(ticks, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+using TestNetwork = Network<std::string>;
+
+TEST(NetworkTest, DeliversAfterLatency) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  net.set_default_link(LinkParams{SimTime::millis(5), SimTime{}, 0.0});
+
+  std::string received;
+  SimTime received_at;
+  net.attach(Address{2}, [&](Address from, std::string payload) {
+    EXPECT_EQ(from, Address{1});
+    received = std::move(payload);
+    received_at = sim.now();
+  });
+  net.send(Address{1}, Address{2}, "hello");
+  sim.run();
+  EXPECT_EQ(received, "hello");
+  EXPECT_EQ(received_at, SimTime::millis(5));
+}
+
+TEST(NetworkTest, UnattachedDestinationCountsAsDrop) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  net.send(Address{1}, Address{9}, "void");
+  sim.run();
+  EXPECT_EQ(net.stats().dropped_no_route, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(NetworkTest, LossDropsApproximatelyAtRate) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(42));
+  net.set_default_link(LinkParams{SimTime::millis(1), SimTime{}, 0.25});
+  int delivered = 0;
+  net.attach(Address{2}, [&](Address, std::string) { ++delivered; });
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) net.send(Address{1}, Address{2}, "x");
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / kN, 0.75, 0.02);
+  EXPECT_EQ(net.stats().sent, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(net.stats().delivered + net.stats().dropped_loss,
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(NetworkTest, PerPairLinkOverridesDefault) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  net.set_default_link(LinkParams{SimTime::millis(1), SimTime{}, 0.0});
+  net.set_link(Address{1}, Address{2},
+               LinkParams{SimTime::millis(50), SimTime{}, 0.0});
+  SimTime at12, at21;
+  net.attach(Address{2}, [&](Address, std::string) { at12 = sim.now(); });
+  net.attach(Address{1}, [&](Address, std::string) { at21 = sim.now(); });
+  net.send(Address{1}, Address{2}, "slow");
+  net.send(Address{2}, Address{1}, "fast");
+  sim.run();
+  EXPECT_EQ(at12, SimTime::millis(50));  // override applies
+  EXPECT_EQ(at21, SimTime::millis(1));   // reverse uses default
+}
+
+TEST(NetworkTest, JitterBoundsDelay) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(7));
+  net.set_default_link(
+      LinkParams{SimTime::millis(10), SimTime::millis(5), 0.0});
+  std::vector<SimTime> arrivals;
+  net.attach(Address{2},
+             [&](Address, std::string) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 200; ++i) net.send(Address{1}, Address{2}, "j");
+  sim.run();
+  for (const SimTime t : arrivals) {
+    EXPECT_GE(t, SimTime::millis(10));
+    EXPECT_LE(t, SimTime::millis(15));
+  }
+}
+
+TEST(NetworkTest, FifoPreservedForEqualLatency) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  std::vector<std::string> order;
+  net.attach(Address{2},
+             [&](Address, std::string p) { order.push_back(std::move(p)); });
+  net.send(Address{1}, Address{2}, "first");
+  net.send(Address{1}, Address{2}, "second");
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+}
+
+// ---------------------------------------------------------------------------
+// CpuQueue
+// ---------------------------------------------------------------------------
+
+TEST(CpuQueueTest, ServiceTimeIsCostOverCapacity) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{100.0, SimTime::seconds(10.0)});
+  SimTime done_at;
+  ASSERT_TRUE(cpu.submit(50.0, [&] { done_at = sim.now(); }));
+  sim.run();
+  EXPECT_EQ(done_at, SimTime::millis(500));  // 50/100 = 0.5s
+}
+
+TEST(CpuQueueTest, FifoBacklogAccumulates) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(100.0)});
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        cpu.submit(1.0, [&] { completions.push_back(sim.now().to_seconds()); }));
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 2.0);
+  EXPECT_DOUBLE_EQ(completions[2], 3.0);
+}
+
+TEST(CpuQueueTest, RejectsBeyondBacklogBound) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(2.0)});
+  EXPECT_TRUE(cpu.submit(1.0, nullptr));   // backlog 0 -> 1s
+  EXPECT_TRUE(cpu.submit(1.0, nullptr));   // backlog 1 -> 2s
+  EXPECT_TRUE(cpu.submit(1.0, nullptr));   // backlog 2s == bound -> admitted
+  EXPECT_FALSE(cpu.submit(1.0, nullptr));  // backlog 3s > bound -> rejected
+  EXPECT_EQ(cpu.stats().admitted, 3u);
+  EXPECT_EQ(cpu.stats().rejected, 1u);
+}
+
+TEST(CpuQueueTest, UrgentBypassesAdmission) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(0.5)});
+  ASSERT_TRUE(cpu.submit(1.0, nullptr));
+  EXPECT_FALSE(cpu.submit(1.0, nullptr));
+  bool ran = false;
+  cpu.submit_urgent(1.0, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(CpuQueueTest, BacklogDrainsOverTime) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(10.0)});
+  ASSERT_TRUE(cpu.submit(2.0, nullptr));
+  EXPECT_EQ(cpu.backlog(), SimTime::seconds(2.0));
+  sim.run_until(SimTime::seconds(1.5));
+  EXPECT_EQ(cpu.backlog(), SimTime::millis(500));
+  sim.run_until(SimTime::seconds(3.0));
+  EXPECT_EQ(cpu.backlog(), SimTime{});
+}
+
+TEST(CpuQueueTest, BusyElapsedTracksWork) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(10.0)});
+  ASSERT_TRUE(cpu.submit(1.0, nullptr));
+  sim.run_until(SimTime::seconds(4.0));
+  // 1s of work in 4s elapsed.
+  EXPECT_EQ(cpu.busy_elapsed(sim.now()), SimTime::seconds(1.0));
+}
+
+TEST(CpuQueueTest, UtilizationProbeMeasuresWindow) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(100.0)});
+  UtilizationProbe probe(cpu, sim);
+  // Submit 1s of work every 2s: 50% utilization.
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(SimTime::seconds(2.0 * i),
+                 [&] { ASSERT_TRUE(cpu.submit(1.0, nullptr)); });
+  }
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_NEAR(probe.utilization(), 0.5, 0.01);
+}
+
+TEST(CpuQueueTest, UtilizationSaturatesAtOne) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(1000.0)});
+  UtilizationProbe probe(cpu, sim);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(cpu.submit(1.0, nullptr));
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_NEAR(probe.utilization(), 1.0, 1e-9);
+}
+
+TEST(CpuQueueTest, ProbeRestartForgetsHistory) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(1000.0)});
+  UtilizationProbe probe(cpu, sim);
+  ASSERT_TRUE(cpu.submit(1.0, nullptr));
+  sim.run_until(SimTime::seconds(1.0));  // 100% so far
+  probe.restart();
+  sim.run_until(SimTime::seconds(2.0));  // idle second
+  EXPECT_NEAR(probe.utilization(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace svk::sim

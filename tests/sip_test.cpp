@@ -1,0 +1,476 @@
+// Unit tests for the SIP stack: URI parsing, message model, wire
+// serialization round-trips, branch generation and transaction keys.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sip/branch.hpp"
+#include "sip/message.hpp"
+#include "sip/methods.hpp"
+#include "sip/parser.hpp"
+#include "sip/uri.hpp"
+
+namespace svk::sip {
+namespace {
+
+Message make_invite() {
+  Message msg = Message::request(
+      Method::kInvite, Uri("burdell", "cc.gatech.edu"),
+      NameAddr{"Hal", Uri("hal", "us.ibm.com"), "tag-hal"},
+      NameAddr{"", Uri("burdell", "cc.gatech.edu"), ""}, "call-1",
+      CSeq{1, Method::kInvite});
+  msg.push_via(Via{"SIP/2.0/UDP", "uac.us.ibm.com", "z9hG4bK-abc"});
+  msg.set_contact(NameAddr{"", Uri("hal", "uac.us.ibm.com"), ""});
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Methods and status codes
+// ---------------------------------------------------------------------------
+
+TEST(MethodsTest, RoundTripAllMethods) {
+  for (const Method m :
+       {Method::kInvite, Method::kAck, Method::kBye, Method::kCancel,
+        Method::kOptions, Method::kRegister, Method::kInfo, Method::kUpdate,
+        Method::kSubscribe, Method::kNotify}) {
+    EXPECT_EQ(parse_method(to_string(m)), m);
+  }
+}
+
+TEST(MethodsTest, UnknownTokens) {
+  EXPECT_EQ(parse_method("PUBLISH"), Method::kUnknown);
+  EXPECT_EQ(parse_method("invite"), Method::kUnknown);  // case-sensitive
+  EXPECT_EQ(parse_method(""), Method::kUnknown);
+}
+
+TEST(MethodsTest, ResponseClasses) {
+  EXPECT_TRUE(is_provisional(100));
+  EXPECT_TRUE(is_provisional(183));
+  EXPECT_FALSE(is_provisional(200));
+  EXPECT_TRUE(is_final(200));
+  EXPECT_TRUE(is_final(500));
+  EXPECT_TRUE(is_success(200));
+  EXPECT_TRUE(is_success(299));
+  EXPECT_FALSE(is_success(300));
+}
+
+TEST(MethodsTest, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(100), "Trying");
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(500), "Server Internal Error");
+  EXPECT_EQ(reason_phrase(999), "Unknown");
+}
+
+// ---------------------------------------------------------------------------
+// Uri
+// ---------------------------------------------------------------------------
+
+TEST(UriTest, ParsesFullForm) {
+  const auto result =
+      Uri::parse("sip:hal@us.ibm.com:5060;transport=udp;lr");
+  ASSERT_TRUE(result.ok());
+  const Uri& uri = result.value();
+  EXPECT_EQ(uri.scheme(), "sip");
+  EXPECT_EQ(uri.user(), "hal");
+  EXPECT_EQ(uri.host(), "us.ibm.com");
+  EXPECT_EQ(uri.port(), 5060);
+  EXPECT_EQ(uri.param("transport"), "udp");
+  EXPECT_TRUE(uri.has_param("lr"));
+  EXPECT_FALSE(uri.has_param("missing"));
+}
+
+TEST(UriTest, ParsesHostOnly) {
+  const auto result = Uri::parse("sip:example.com");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().user(), "");
+  EXPECT_EQ(result.value().host(), "example.com");
+  EXPECT_EQ(result.value().port(), 0);
+}
+
+TEST(UriTest, ParsesSips) {
+  const auto result = Uri::parse("sips:a@b.com");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().scheme(), "sips");
+}
+
+TEST(UriTest, RejectsMalformed) {
+  EXPECT_FALSE(Uri::parse("").ok());
+  EXPECT_FALSE(Uri::parse("nocolon").ok());
+  EXPECT_FALSE(Uri::parse("http://x.com").ok());
+  EXPECT_FALSE(Uri::parse("sip:").ok());
+  EXPECT_FALSE(Uri::parse("sip:@host").ok());
+  EXPECT_FALSE(Uri::parse("sip:user@").ok());
+  EXPECT_FALSE(Uri::parse("sip:user@host:notaport").ok());
+  EXPECT_FALSE(Uri::parse("sip:user@host:0").ok());
+  EXPECT_FALSE(Uri::parse("sip:user@host:70000").ok());
+  EXPECT_FALSE(Uri::parse("sip:user@:5060").ok());
+}
+
+TEST(UriTest, RoundTripsThroughToString) {
+  for (const std::string text :
+       {"sip:hal@us.ibm.com", "sip:host.only", "sip:a@b.c:5070",
+        "sip:a@b.c;lr", "sip:a@b.c:1;x=y;flag"}) {
+    const auto parsed = Uri::parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().to_string(), text);
+  }
+}
+
+TEST(UriTest, AorIgnoresPortAndParams) {
+  const auto uri = Uri::parse("sip:hal@us.ibm.com:5060;lr");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri.value().aor(), "hal@us.ibm.com");
+}
+
+TEST(UriTest, EqualityIgnoresParams) {
+  const auto a = Uri::parse("sip:u@h;x=1").value();
+  const auto b = Uri::parse("sip:u@h;y=2").value();
+  EXPECT_EQ(a, b);
+  const auto c = Uri::parse("sip:u@h:5060").value();
+  EXPECT_FALSE(a == c);
+}
+
+TEST(UriTest, SetParamReplaces) {
+  Uri uri("u", "h");
+  uri.set_param("x", "1");
+  uri.set_param("x", "2");
+  EXPECT_EQ(uri.param("x"), "2");
+  EXPECT_EQ(uri.params().size(), 1u);
+}
+
+TEST(UriTest, QueryHeadersTolerated) {
+  const auto uri = Uri::parse("sip:u@h?subject=hi");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri.value().host(), "h");
+}
+
+// ---------------------------------------------------------------------------
+// Message model
+// ---------------------------------------------------------------------------
+
+TEST(MessageTest, RequestSkeleton) {
+  const Message msg = make_invite();
+  EXPECT_TRUE(msg.is_request());
+  EXPECT_EQ(msg.method(), Method::kInvite);
+  EXPECT_EQ(msg.call_id(), "call-1");
+  EXPECT_EQ(msg.cseq().seq, 1u);
+  EXPECT_EQ(msg.max_forwards(), 70);
+}
+
+TEST(MessageTest, ResponseCopiesIdentityHeaders) {
+  const Message req = make_invite();
+  const Message resp = Message::response(req, 180);
+  EXPECT_TRUE(resp.is_response());
+  EXPECT_EQ(resp.status_code(), 180);
+  EXPECT_EQ(resp.reason(), "Ringing");
+  EXPECT_EQ(resp.vias(), req.vias());
+  EXPECT_EQ(resp.from(), req.from());
+  EXPECT_EQ(resp.to(), req.to());
+  EXPECT_EQ(resp.call_id(), req.call_id());
+  EXPECT_EQ(resp.cseq(), req.cseq());
+}
+
+TEST(MessageTest, ResponseCustomReason) {
+  const Message req = make_invite();
+  const Message resp = Message::response(req, 500, "Busy Busy");
+  EXPECT_EQ(resp.reason(), "Busy Busy");
+}
+
+TEST(MessageTest, ViaStackLifo) {
+  Message msg = make_invite();
+  msg.push_via(Via{"SIP/2.0/UDP", "p1.example.com", "z9hG4bK-p1"});
+  msg.push_via(Via{"SIP/2.0/UDP", "p2.example.com", "z9hG4bK-p2"});
+  EXPECT_EQ(msg.top_via().sent_by, "p2.example.com");
+  msg.pop_via();
+  EXPECT_EQ(msg.top_via().sent_by, "p1.example.com");
+  EXPECT_EQ(msg.vias().size(), 2u);
+}
+
+TEST(MessageTest, ExtensionHeaders) {
+  Message msg = make_invite();
+  EXPECT_FALSE(msg.header("X-Stateful").has_value());
+  msg.set_header("X-Stateful", "p1");
+  EXPECT_EQ(msg.header("X-Stateful"), "p1");
+  msg.set_header("X-Stateful", "p2");  // replace
+  EXPECT_EQ(msg.header("X-Stateful"), "p2");
+  EXPECT_EQ(msg.extension_headers().size(), 1u);
+  msg.remove_header("X-Stateful");
+  EXPECT_FALSE(msg.header("X-Stateful").has_value());
+}
+
+TEST(MessageTest, MaxForwardsDecrement) {
+  Message msg = make_invite();
+  msg.set_max_forwards(2);
+  msg.decrement_max_forwards();
+  EXPECT_EQ(msg.max_forwards(), 1);
+}
+
+TEST(MessageTest, CloneIsIndependent) {
+  Message original = make_invite();
+  Message copy = clone(original);
+  copy.set_header("X-Test", "1");
+  copy.pop_via();
+  EXPECT_FALSE(original.header("X-Test").has_value());
+  EXPECT_EQ(original.vias().size(), 1u);
+}
+
+TEST(MessageTest, HeaderCountReflectsContents) {
+  Message msg = make_invite();
+  const std::size_t base = msg.header_count();
+  msg.set_header("X-A", "1");
+  msg.record_routes().push_back(Uri("", "p1.example.com"));
+  EXPECT_EQ(msg.header_count(), base + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Wire round-trips
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, RequestRoundTrip) {
+  Message msg = make_invite();
+  msg.set_header("X-Stateful", "proxy0.example.net");
+  msg.routes().push_back(Uri("", "p1.example.com"));
+  msg.record_routes().push_back(Uri("", "p2.example.com"));
+  msg.set_body("v=0");
+
+  const std::string wire = msg.to_wire();
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Message& round = parsed.value();
+
+  EXPECT_TRUE(round.is_request());
+  EXPECT_EQ(round.method(), Method::kInvite);
+  EXPECT_EQ(round.request_uri(), msg.request_uri());
+  EXPECT_EQ(round.vias(), msg.vias());
+  EXPECT_EQ(round.from(), msg.from());
+  EXPECT_EQ(round.to(), msg.to());
+  EXPECT_EQ(round.call_id(), msg.call_id());
+  EXPECT_EQ(round.cseq(), msg.cseq());
+  EXPECT_EQ(round.max_forwards(), msg.max_forwards());
+  ASSERT_TRUE(round.contact().has_value());
+  EXPECT_EQ(round.contact()->uri, msg.contact()->uri);
+  EXPECT_EQ(round.routes().size(), 1u);
+  EXPECT_EQ(round.record_routes().size(), 1u);
+  EXPECT_EQ(round.header("X-Stateful"), "proxy0.example.net");
+  EXPECT_EQ(round.body(), "v=0");
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  const Message req = make_invite();
+  Message resp = Message::response(req, 200);
+  resp.to().tag = "uas-tag";
+  resp.set_contact(NameAddr{"", Uri("", "uas0.example.com"), ""});
+
+  const auto parsed = Parser::parse(resp.to_wire());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_TRUE(parsed.value().is_response());
+  EXPECT_EQ(parsed.value().status_code(), 200);
+  EXPECT_EQ(parsed.value().reason(), "OK");
+  EXPECT_EQ(parsed.value().to().tag, "uas-tag");
+  EXPECT_EQ(parsed.value().from().tag, "tag-hal");
+}
+
+class WireMethodRoundTrip : public ::testing::TestWithParam<Method> {};
+
+TEST_P(WireMethodRoundTrip, PreservesMethod) {
+  const Method method = GetParam();
+  Message msg = Message::request(
+      method, Uri("u", "example.com"),
+      NameAddr{"", Uri("a", "x.com"), "t1"},
+      NameAddr{"", Uri("b", "y.com"), ""}, "cid", CSeq{7, method});
+  msg.push_via(Via{"SIP/2.0/UDP", "host.x.com", "z9hG4bK-1"});
+  const auto parsed = Parser::parse(msg.to_wire());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method(), method);
+  EXPECT_EQ(parsed.value().cseq().method, method);
+  EXPECT_EQ(parsed.value().cseq().seq, 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, WireMethodRoundTrip,
+    ::testing::Values(Method::kInvite, Method::kAck, Method::kBye,
+                      Method::kCancel, Method::kOptions, Method::kRegister,
+                      Method::kSubscribe, Method::kNotify));
+
+class WireStatusRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireStatusRoundTrip, PreservesStatus) {
+  const Message req = make_invite();
+  const Message resp = Message::response(req, GetParam());
+  const auto parsed = Parser::parse(resp.to_wire());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status_code(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(CommonCodes, WireStatusRoundTrip,
+                         ::testing::Values(100, 180, 183, 200, 202, 302, 400,
+                                           404, 407, 408, 483, 486, 500, 503,
+                                           603));
+
+TEST(WireTest, DisplayNameRoundTrip) {
+  Message msg = make_invite();
+  const auto parsed = Parser::parse(msg.to_wire());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().from().display, "Hal");
+}
+
+TEST(WireTest, EmptyBodyContentLengthZero) {
+  const std::string wire = make_invite().to_wire();
+  EXPECT_NE(wire.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parser negative cases
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parser::parse("").ok());
+  EXPECT_FALSE(Parser::parse("hello world").ok());
+  EXPECT_FALSE(Parser::parse("INVITE\r\n\r\n").ok());
+}
+
+TEST(ParserTest, RejectsWrongVersion) {
+  EXPECT_FALSE(
+      Parser::parse("INVITE sip:u@h SIP/1.0\r\nCall-ID: x\r\n\r\n").ok());
+}
+
+TEST(ParserTest, RejectsMissingMandatoryHeaders) {
+  // Well-formed start line but no Call-ID/CSeq/From/To/Via.
+  const std::string wire = "INVITE sip:u@h SIP/2.0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, RejectsBadStatusCode) {
+  EXPECT_FALSE(Parser::parse("SIP/2.0 99 Too Low\r\n\r\n").ok());
+  EXPECT_FALSE(Parser::parse("SIP/2.0 abc Bad\r\n\r\n").ok());
+}
+
+TEST(ParserTest, RejectsTruncatedBody) {
+  Message msg = make_invite();
+  msg.set_body("0123456789");
+  std::string wire = msg.to_wire();
+  wire.resize(wire.size() - 5);  // cut body short
+  EXPECT_FALSE(Parser::parse(wire).ok());
+}
+
+TEST(ParserTest, RejectsHeaderWithoutColon) {
+  std::string wire = make_invite().to_wire();
+  const auto pos = wire.find("Call-ID:");
+  wire.replace(pos, 8, "Call-ID ");
+  EXPECT_FALSE(Parser::parse(wire).ok());
+}
+
+TEST(ParserTest, ToleratesLfOnlyLineEndings) {
+  std::string wire = make_invite().to_wire();
+  std::string lf_only;
+  for (const char c : wire) {
+    if (c != '\r') lf_only += c;
+  }
+  EXPECT_TRUE(Parser::parse(lf_only).ok());
+}
+
+TEST(ParserTest, CompactHeaderNames) {
+  const std::string wire =
+      "INVITE sip:u@h SIP/2.0\r\n"
+      "v: SIP/2.0/UDP client.com;branch=z9hG4bK-77\r\n"
+      "f: <sip:a@x.com>;tag=t\r\n"
+      "t: <sip:b@y.com>\r\n"
+      "i: abc-123\r\n"
+      "CSeq: 3 INVITE\r\n"
+      "l: 0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().call_id(), "abc-123");
+  EXPECT_EQ(parsed.value().top_via().branch, "z9hG4bK-77");
+  EXPECT_EQ(parsed.value().from().tag, "t");
+}
+
+TEST(ParserTest, NameAddrBareUriWithTag) {
+  const auto na = parse_name_addr("sip:a@x.com;tag=abc");
+  ASSERT_TRUE(na.ok());
+  EXPECT_EQ(na.value().uri.aor(), "a@x.com");
+  EXPECT_EQ(na.value().tag, "abc");
+}
+
+TEST(ParserTest, NameAddrRejectsUnterminatedDisplay) {
+  EXPECT_FALSE(parse_name_addr("\"Hal <sip:a@x.com>").ok());
+  EXPECT_FALSE(parse_name_addr("<sip:a@x.com").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Branches and transaction keys
+// ---------------------------------------------------------------------------
+
+TEST(BranchTest, GeneratorEmitsUniqueCookiePrefixed) {
+  BranchGenerator gen(42);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string branch = gen.next();
+    EXPECT_TRUE(branch.starts_with(kMagicCookie)) << branch;
+    EXPECT_TRUE(seen.insert(branch).second) << "duplicate " << branch;
+  }
+}
+
+TEST(BranchTest, DistinctElementsDistinctBranches) {
+  BranchGenerator a(1);
+  BranchGenerator b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(BranchTest, StatelessBranchDeterministic) {
+  const std::string b1 = stateless_branch("z9hG4bK-abc", "p1.example.com");
+  const std::string b2 = stateless_branch("z9hG4bK-abc", "p1.example.com");
+  EXPECT_EQ(b1, b2);
+  EXPECT_TRUE(b1.starts_with(kMagicCookie));
+  // Different host or input branch -> different output.
+  EXPECT_NE(b1, stateless_branch("z9hG4bK-abc", "p2.example.com"));
+  EXPECT_NE(b1, stateless_branch("z9hG4bK-abd", "p1.example.com"));
+}
+
+TEST(TxnKeyTest, AckMatchesInviteServerKey) {
+  Message invite = make_invite();
+  Message ack = Message::request(
+      Method::kAck, invite.request_uri(), invite.from(), invite.to(),
+      invite.call_id(), CSeq{1, Method::kAck});
+  ack.vias().push_back(invite.top_via());
+  EXPECT_EQ(server_key(invite), server_key(ack));
+}
+
+TEST(TxnKeyTest, CancelDoesNotMatchInvite) {
+  Message invite = make_invite();
+  Message cancel = Message::request(
+      Method::kCancel, invite.request_uri(), invite.from(), invite.to(),
+      invite.call_id(), CSeq{1, Method::kCancel});
+  cancel.vias().push_back(invite.top_via());
+  EXPECT_FALSE(server_key(invite) == server_key(cancel));
+}
+
+TEST(TxnKeyTest, ResponseMatchesClientKeyOfRequest) {
+  const Message invite = make_invite();
+  const Message resp = Message::response(invite, 180);
+  // Client key of the response equals the key derived from the request's
+  // top via + method.
+  const TransactionKey expect{invite.top_via().branch,
+                              invite.top_via().sent_by, Method::kInvite};
+  EXPECT_EQ(client_key(resp), expect);
+}
+
+TEST(TxnKeyTest, DifferentBranchesDifferentKeys) {
+  Message a = make_invite();
+  Message b = make_invite();
+  b.vias().front().branch = "z9hG4bK-other";
+  EXPECT_FALSE(server_key(a) == server_key(b));
+  TransactionKeyHash hash;
+  EXPECT_NE(hash(server_key(a)), hash(server_key(b)));
+}
+
+TEST(TxnKeyTest, HashConsistentWithEquality) {
+  const Message msg = make_invite();
+  TransactionKeyHash hash;
+  EXPECT_EQ(hash(server_key(msg)), hash(server_key(msg)));
+}
+
+}  // namespace
+}  // namespace svk::sip

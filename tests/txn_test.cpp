@@ -1,0 +1,490 @@
+// RFC 3261 section-17 conformance tests for the transaction layer: timer
+// schedules, retransmission generation/absorption, state transitions and
+// manager matching.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sip/branch.hpp"
+#include "sip/message.hpp"
+#include "txn/manager.hpp"
+#include "txn/transaction.hpp"
+
+namespace svk::txn {
+namespace {
+
+using sip::CSeq;
+using sip::Message;
+using sip::MessagePtr;
+using sip::Method;
+using sip::NameAddr;
+using sip::Uri;
+using sip::Via;
+
+MessagePtr make_request(Method method, const std::string& branch = "z9hG4bK-1",
+                        const std::string& call_id = "call-1") {
+  Message msg = Message::request(
+      method, Uri("bob", "example.com"),
+      NameAddr{"", Uri("alice", "client.com"), "tag-a"},
+      NameAddr{"", Uri("bob", "example.com"), ""}, call_id,
+      CSeq{1, method});
+  msg.push_via(Via{"SIP/2.0/UDP", "client.com", branch});
+  return std::move(msg).finish();
+}
+
+MessagePtr make_response(const Message& req, int code) {
+  return Message::response(req, code).finish();
+}
+
+/// Collects everything a transaction puts on the wire.
+struct WireLog {
+  std::vector<MessagePtr> sent;
+  SendFn sender() {
+    return [this](const MessagePtr& m) { sent.push_back(m); };
+  }
+  [[nodiscard]] int count_method(Method m) const {
+    int n = 0;
+    for (const auto& msg : sent) {
+      if (msg->is_request() && msg->method() == m) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] int count_status(int code) const {
+    int n = 0;
+    for (const auto& msg : sent) {
+      if (msg->is_response() && msg->status_code() == code) ++n;
+    }
+    return n;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// INVITE client transaction (17.1.1)
+// ---------------------------------------------------------------------------
+
+class InviteClientTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  TimerConfig timers;
+  WireLog wire;
+  int timeouts = 0;
+  int terminated = 0;
+  std::vector<int> responses;
+
+  std::unique_ptr<ClientTransaction> make() {
+    ClientCallbacks callbacks;
+    callbacks.on_response = [this](const MessagePtr& m) {
+      responses.push_back(m->status_code());
+    };
+    callbacks.on_timeout = [this] { ++timeouts; };
+    callbacks.on_terminated = [this] { ++terminated; };
+    auto txn = std::make_unique<ClientTransaction>(
+        sim, timers, /*is_invite=*/true, make_request(Method::kInvite),
+        wire.sender(), std::move(callbacks));
+    txn->start();
+    return txn;
+  }
+};
+
+TEST_F(InviteClientTest, SendsImmediately) {
+  auto txn = make();
+  EXPECT_EQ(wire.count_method(Method::kInvite), 1);
+  EXPECT_EQ(txn->state(), ClientState::kCalling);
+}
+
+TEST_F(InviteClientTest, TimerADoublesRetransmissions) {
+  auto txn = make();
+  // Retransmits at 0.5, 1.5, 3.5, 7.5, 15.5, 31.5s (then timer B at 32s).
+  sim.run_until(SimTime::millis(400));
+  EXPECT_EQ(wire.count_method(Method::kInvite), 1);
+  sim.run_until(SimTime::millis(600));
+  EXPECT_EQ(wire.count_method(Method::kInvite), 2);
+  sim.run_until(SimTime::millis(1600));
+  EXPECT_EQ(wire.count_method(Method::kInvite), 3);
+  sim.run_until(SimTime::millis(3600));
+  EXPECT_EQ(wire.count_method(Method::kInvite), 4);
+  EXPECT_EQ(txn->retransmit_count(), 3);
+}
+
+TEST_F(InviteClientTest, TimerBTimesOut) {
+  auto txn = make();
+  sim.run_until(SimTime::seconds(40.0));
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(terminated, 1);
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+  // 64*T1 = 32s window: initial + retransmits at 0.5,1.5,3.5,7.5,15.5,31.5.
+  EXPECT_EQ(wire.count_method(Method::kInvite), 7);
+}
+
+TEST_F(InviteClientTest, ProvisionalStopsRetransmission) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 100));
+  EXPECT_EQ(txn->state(), ClientState::kProceeding);
+  sim.run_until(SimTime::seconds(40.0));
+  EXPECT_EQ(wire.count_method(Method::kInvite), 1);  // no retransmits
+  EXPECT_EQ(timeouts, 0);                            // timer B cancelled
+  EXPECT_EQ(responses, (std::vector<int>{100}));
+}
+
+TEST_F(InviteClientTest, TwoHundredTerminatesImmediately) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 200));
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+  EXPECT_EQ(terminated, 1);
+  // No ACK from the transaction for 2xx (TU's responsibility).
+  EXPECT_EQ(wire.count_method(Method::kAck), 0);
+}
+
+TEST_F(InviteClientTest, NonTwoHundredAcksAndLingers) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 486));
+  EXPECT_EQ(txn->state(), ClientState::kCompleted);
+  EXPECT_EQ(wire.count_method(Method::kAck), 1);
+  EXPECT_EQ(responses, (std::vector<int>{486}));
+
+  // A retransmitted final is absorbed and re-ACKed, not passed up.
+  txn->receive_response(make_response(*txn->request(), 486));
+  EXPECT_EQ(wire.count_method(Method::kAck), 2);
+  EXPECT_EQ(responses, (std::vector<int>{486}));
+
+  // Timer D fires at 32s.
+  sim.run_until(SimTime::seconds(33.0));
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+}
+
+TEST_F(InviteClientTest, AckForNon2xxCopiesBranch) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 404));
+  ASSERT_EQ(wire.count_method(Method::kAck), 1);
+  const MessagePtr& ack = wire.sent.back();
+  EXPECT_EQ(ack->top_via().branch, txn->request()->top_via().branch);
+  EXPECT_EQ(ack->cseq().method, Method::kAck);
+  EXPECT_EQ(ack->cseq().seq, txn->request()->cseq().seq);
+}
+
+TEST_F(InviteClientTest, ProvisionalThen200) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 180));
+  txn->receive_response(make_response(*txn->request(), 200));
+  EXPECT_EQ(responses, (std::vector<int>{180, 200}));
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+}
+
+// ---------------------------------------------------------------------------
+// Non-INVITE client transaction (17.1.2)
+// ---------------------------------------------------------------------------
+
+class NonInviteClientTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  TimerConfig timers;
+  WireLog wire;
+  int timeouts = 0;
+  std::vector<int> responses;
+
+  std::unique_ptr<ClientTransaction> make() {
+    ClientCallbacks callbacks;
+    callbacks.on_response = [this](const MessagePtr& m) {
+      responses.push_back(m->status_code());
+    };
+    callbacks.on_timeout = [this] { ++timeouts; };
+    auto txn = std::make_unique<ClientTransaction>(
+        sim, timers, /*is_invite=*/false, make_request(Method::kBye),
+        wire.sender(), std::move(callbacks));
+    txn->start();
+    return txn;
+  }
+};
+
+TEST_F(NonInviteClientTest, TimerECapsAtT2) {
+  auto txn = make();
+  // E fires at 0.5, 1.5, 3.5, 7.5, then every 4s (T2 cap).
+  sim.run_until(SimTime::seconds(11.6));
+  // Sends: t=0, .5, 1.5, 3.5, 7.5, 11.5 -> 6 transmissions.
+  EXPECT_EQ(wire.count_method(Method::kBye), 6);
+}
+
+TEST_F(NonInviteClientTest, TimerFTimesOutAt64T1) {
+  auto txn = make();
+  sim.run_until(SimTime::seconds(33.0));
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+}
+
+TEST_F(NonInviteClientTest, FinalEntersCompletedThenTimerK) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 200));
+  EXPECT_EQ(txn->state(), ClientState::kCompleted);
+  EXPECT_EQ(responses, (std::vector<int>{200}));
+  // Timer K = T4 = 5s.
+  sim.run_until(SimTime::seconds(5.5));
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+}
+
+TEST_F(NonInviteClientTest, ProvisionalKeepsRetransmittingAtT2) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 100));
+  EXPECT_EQ(txn->state(), ClientState::kProceeding);
+  const int before = wire.count_method(Method::kBye);
+  sim.run_until(SimTime::seconds(9.0));
+  EXPECT_GT(wire.count_method(Method::kBye), before);
+  // Timeouts still possible in Proceeding for non-INVITE.
+  sim.run_until(SimTime::seconds(33.0));
+  EXPECT_EQ(timeouts, 1);
+}
+
+TEST_F(NonInviteClientTest, RetransmittedFinalAbsorbed) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 200));
+  txn->receive_response(make_response(*txn->request(), 200));
+  EXPECT_EQ(responses, (std::vector<int>{200}));
+}
+
+// ---------------------------------------------------------------------------
+// INVITE server transaction (17.2.1)
+// ---------------------------------------------------------------------------
+
+class InviteServerTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  TimerConfig timers;
+  WireLog wire;
+  int acks = 0;
+  int timeouts = 0;
+
+  MessagePtr invite = make_request(Method::kInvite);
+
+  std::unique_ptr<ServerTransaction> make() {
+    ServerCallbacks callbacks;
+    callbacks.on_ack = [this](const MessagePtr&) { ++acks; };
+    callbacks.on_timeout = [this] { ++timeouts; };
+    return std::make_unique<ServerTransaction>(
+        sim, timers, /*is_invite=*/true, invite, wire.sender(),
+        std::move(callbacks));
+  }
+
+  MessagePtr ack_for(const MessagePtr& inv) {
+    Message ack = Message::request(
+        Method::kAck, inv->request_uri(), inv->from(), inv->to(),
+        inv->call_id(), CSeq{1, Method::kAck});
+    ack.vias().push_back(inv->top_via());
+    return std::move(ack).finish();
+  }
+};
+
+TEST_F(InviteServerTest, StartsProceeding) {
+  auto txn = make();
+  EXPECT_EQ(txn->state(), ServerState::kProceeding);
+}
+
+TEST_F(InviteServerTest, RetransmittedInviteReplaysProvisional) {
+  auto txn = make();
+  txn->respond(make_response(*invite, 100));
+  EXPECT_EQ(wire.count_status(100), 1);
+  txn->receive_request(invite);
+  EXPECT_EQ(wire.count_status(100), 2);
+  EXPECT_EQ(txn->absorbed_count(), 1);
+}
+
+TEST_F(InviteServerTest, TwoHundredTerminatesImmediately) {
+  auto txn = make();
+  txn->respond(make_response(*invite, 200));
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+  EXPECT_EQ(wire.count_status(200), 1);
+  // No retransmissions from the transaction (UAS core owns 2xx rtx).
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(wire.count_status(200), 1);
+}
+
+TEST_F(InviteServerTest, Non2xxRetransmitsOnTimerG) {
+  auto txn = make();
+  txn->respond(make_response(*invite, 486));
+  EXPECT_EQ(txn->state(), ServerState::kCompleted);
+  EXPECT_EQ(wire.count_status(486), 1);
+  // G fires at 0.5, 1.5, 3.5, 7.5... (doubling, capped at T2).
+  sim.run_until(SimTime::millis(1600));
+  EXPECT_EQ(wire.count_status(486), 3);
+}
+
+TEST_F(InviteServerTest, AckStopsRetransmissionAndConfirms) {
+  auto txn = make();
+  txn->respond(make_response(*invite, 486));
+  sim.run_until(SimTime::millis(600));
+  const int sent_so_far = wire.count_status(486);
+  txn->receive_request(ack_for(invite));
+  EXPECT_EQ(txn->state(), ServerState::kConfirmed);
+  EXPECT_EQ(acks, 1);
+  sim.run_until(SimTime::seconds(3.0));
+  EXPECT_EQ(wire.count_status(486), sent_so_far);  // G stopped
+  // Timer I (T4=5s) then terminates.
+  sim.run_until(SimTime::seconds(6.0));
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+}
+
+TEST_F(InviteServerTest, DuplicateAckAbsorbedInConfirmed) {
+  auto txn = make();
+  txn->respond(make_response(*invite, 486));
+  txn->receive_request(ack_for(invite));
+  txn->receive_request(ack_for(invite));
+  EXPECT_EQ(acks, 1);
+}
+
+TEST_F(InviteServerTest, TimerHTimesOutWithoutAck) {
+  auto txn = make();
+  txn->respond(make_response(*invite, 486));
+  sim.run_until(SimTime::seconds(33.0));
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+}
+
+// ---------------------------------------------------------------------------
+// Non-INVITE server transaction (17.2.2)
+// ---------------------------------------------------------------------------
+
+class NonInviteServerTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  TimerConfig timers;
+  WireLog wire;
+  MessagePtr bye = make_request(Method::kBye);
+
+  std::unique_ptr<ServerTransaction> make() {
+    return std::make_unique<ServerTransaction>(
+        sim, timers, /*is_invite=*/false, bye, wire.sender(),
+        ServerCallbacks{});
+  }
+};
+
+TEST_F(NonInviteServerTest, StartsTrying) {
+  auto txn = make();
+  EXPECT_EQ(txn->state(), ServerState::kTrying);
+}
+
+TEST_F(NonInviteServerTest, RetransmissionInTryingAbsorbedSilently) {
+  auto txn = make();
+  txn->receive_request(bye);
+  EXPECT_EQ(txn->absorbed_count(), 1);
+  EXPECT_TRUE(wire.sent.empty());  // nothing to replay yet
+}
+
+TEST_F(NonInviteServerTest, RetransmissionInCompletedReplaysFinal) {
+  auto txn = make();
+  txn->respond(make_response(*bye, 200));
+  EXPECT_EQ(txn->state(), ServerState::kCompleted);
+  txn->receive_request(bye);
+  EXPECT_EQ(wire.count_status(200), 2);
+}
+
+TEST_F(NonInviteServerTest, TimerJTerminates) {
+  auto txn = make();
+  txn->respond(make_response(*bye, 200));
+  sim.run_until(SimTime::seconds(33.0));
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+}
+
+TEST_F(NonInviteServerTest, NoTimerGRetransmissions) {
+  auto txn = make();
+  txn->respond(make_response(*bye, 200));
+  sim.run_until(SimTime::seconds(20.0));
+  EXPECT_EQ(wire.count_status(200), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TransactionManager
+// ---------------------------------------------------------------------------
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  TimerConfig timers;
+  TransactionManager manager{sim, timers};
+  WireLog wire;
+};
+
+TEST_F(ManagerTest, NewRequestReportsNewRequest) {
+  EXPECT_EQ(manager.dispatch(make_request(Method::kInvite)),
+            Dispatch::kNewRequest);
+}
+
+TEST_F(ManagerTest, RetransmissionHitsServerTransaction) {
+  auto invite = make_request(Method::kInvite);
+  manager.create_server(invite, wire.sender(), ServerCallbacks{});
+  EXPECT_EQ(manager.dispatch(invite), Dispatch::kHandledByServerTxn);
+  EXPECT_EQ(manager.active_count(), 1u);
+}
+
+TEST_F(ManagerTest, ResponseRoutedToClientTransaction) {
+  auto invite = make_request(Method::kInvite);
+  std::vector<int> codes;
+  ClientCallbacks callbacks;
+  callbacks.on_response = [&](const MessagePtr& m) {
+    codes.push_back(m->status_code());
+  };
+  manager.create_client(invite, wire.sender(), std::move(callbacks));
+  EXPECT_EQ(manager.dispatch(make_response(*invite, 180)),
+            Dispatch::kHandledByClientTxn);
+  EXPECT_EQ(codes, (std::vector<int>{180}));
+}
+
+TEST_F(ManagerTest, StrayResponseReported) {
+  EXPECT_EQ(manager.dispatch(make_response(*make_request(Method::kInvite), 200)),
+            Dispatch::kStrayResponse);
+}
+
+TEST_F(ManagerTest, TerminatedTransactionsAreRemoved) {
+  auto invite = make_request(Method::kInvite);
+  manager.create_client(invite, wire.sender(), ClientCallbacks{});
+  EXPECT_EQ(manager.active_count(), 1u);
+  // 2xx terminates the INVITE client transaction; removal is scheduled.
+  manager.dispatch(make_response(*invite, 200));
+  sim.run();
+  EXPECT_EQ(manager.active_count(), 0u);
+}
+
+TEST_F(ManagerTest, AckAfter2xxIsNewRequest) {
+  auto invite = make_request(Method::kInvite);
+  manager.create_server(invite, wire.sender(), ServerCallbacks{});
+  auto* server = manager.find_server(*invite);
+  ASSERT_NE(server, nullptr);
+  server->respond(make_response(*invite, 200));
+  sim.run();  // removal event
+  Message ack = Message::request(
+      Method::kAck, invite->request_uri(), invite->from(), invite->to(),
+      invite->call_id(), CSeq{1, Method::kAck});
+  ack.vias().push_back(invite->top_via());
+  EXPECT_EQ(manager.dispatch(std::move(ack).finish()),
+            Dispatch::kNewRequest);
+}
+
+TEST_F(ManagerTest, DistinctBranchesAreDistinctTransactions) {
+  manager.create_server(make_request(Method::kInvite, "z9hG4bK-x"),
+                        wire.sender(), ServerCallbacks{});
+  manager.create_server(make_request(Method::kInvite, "z9hG4bK-y"),
+                        wire.sender(), ServerCallbacks{});
+  EXPECT_EQ(manager.active_count(), 2u);
+  EXPECT_EQ(manager.created_count(), 2u);
+}
+
+TEST_F(ManagerTest, InviteAndByeSameDialogAreDistinctTransactions) {
+  // Same call-id, different method/branch: separate transactions.
+  manager.create_server(make_request(Method::kInvite, "z9hG4bK-i", "c1"),
+                        wire.sender(), ServerCallbacks{});
+  manager.create_server(make_request(Method::kBye, "z9hG4bK-b", "c1"),
+                        wire.sender(), ServerCallbacks{});
+  EXPECT_EQ(manager.active_count(), 2u);
+}
+
+TEST_F(ManagerTest, UserTerminatedCallbackRuns) {
+  auto invite = make_request(Method::kInvite);
+  bool user_terminated = false;
+  ClientCallbacks callbacks;
+  callbacks.on_terminated = [&] { user_terminated = true; };
+  manager.create_client(invite, wire.sender(), std::move(callbacks));
+  manager.dispatch(make_response(*invite, 200));
+  sim.run();
+  EXPECT_TRUE(user_terminated);
+}
+
+}  // namespace
+}  // namespace svk::txn
