@@ -35,9 +35,7 @@ workload::ScenarioOptions auth_options(PolicyKind policy) {
 
 double find_sat(PolicyKind policy) {
   const auto factory = workload::series_chain(2, auth_options(policy));
-  return full(workload::find_saturation(factory, scaled(6500.0),
-                                        scaled(13000.0), scaled(500.0),
-                                        measure_options()));
+  return find_saturation_full(factory, 6500.0, 13000.0, 500.0);
 }
 
 void BM_Auth_StaticAll(benchmark::State& state) {
@@ -75,11 +73,20 @@ void print_summary() {
               100.0 * (g_dynamic / g_static_all - 1.0));
 }
 
+void write_json() {
+  BenchReport report("abl_auth_distribution");
+  report.add_metric("static_all_saturation_cps", g_static_all);
+  report.add_metric("static_entry_saturation_cps", g_static_entry);
+  report.add_metric("servartuka_saturation_cps", g_dynamic);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -46,20 +46,29 @@ std::vector<Variant> g_variants = {
      0.0},
 };
 
-void BM_ControllerVariant(benchmark::State& state) {
-  Variant& variant = g_variants[static_cast<std::size_t>(state.range(0))];
+/// The variants are independent single-point simulations; fan them across
+/// the runner's worker threads in one benchmark iteration.
+void BM_ControllerVariants(benchmark::State& state) {
   for (auto _ : state) {
-    auto options = scenario(PolicyKind::kServartuka);
-    options.controller_tweak = variant.tweak;
-    auto mo = measure_options();
-    mo.measure = SimTime::seconds(15.0);
-    const auto result = workload::measure_point(
-        workload::series_chain(2, options), scaled(kOffered), mo);
-    variant.throughput = full(result.throughput_cps);
+    std::vector<std::function<workload::PointResult()>> jobs;
+    for (const Variant& variant : g_variants) {
+      jobs.emplace_back([&variant] {
+        auto options = scenario(PolicyKind::kServartuka);
+        options.controller_tweak = variant.tweak;
+        auto mo = measure_options();
+        mo.measure = SimTime::seconds(15.0);
+        return workload::measure_point(workload::series_chain(2, options),
+                                       scaled(kOffered), mo);
+      });
+    }
+    const auto results = workload::run_points_parallel(jobs, g_threads);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      g_variants[i].throughput = full(results[i].throughput_cps);
+    }
   }
-  state.counters["throughput_cps"] = variant.throughput;
+  state.counters["variants"] = static_cast<double>(g_variants.size());
 }
-BENCHMARK(BM_ControllerVariant)->DenseRange(0, 4)->Iterations(1)
+BENCHMARK(BM_ControllerVariants)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 void print_summary() {
@@ -74,11 +83,26 @@ void print_summary() {
               " recovers throughput the verbatim version loses)\n");
 }
 
+void write_json() {
+  BenchReport report("abl_controller_features");
+  JsonValue& variants = report.root()["variants"];
+  variants = JsonValue::array();
+  for (const Variant& v : g_variants) {
+    JsonValue entry = JsonValue::object();
+    entry["name"] = v.name;
+    entry["throughput_cps"] = v.throughput;
+    variants.push_back(std::move(entry));
+  }
+  report.add_metric("offered_cps", kOffered);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -25,9 +25,7 @@ workload::ScenarioOptions hetero_options(PolicyKind policy) {
 
 double find_sat(PolicyKind policy) {
   const auto factory = workload::parallel_fork(hetero_options(policy));
-  return full(workload::find_saturation(factory, scaled(12000.0),
-                                        scaled(26000.0), scaled(1000.0),
-                                        measure_options()));
+  return find_saturation_full(factory, 12000.0, 26000.0, 1000.0);
 }
 
 void BM_Hetero_StaticFork(benchmark::State& state) {
@@ -95,11 +93,22 @@ void print_summary() {
               " adapts while the static standard cannot.)\n");
 }
 
+void write_json() {
+  BenchReport report("abl_heterogeneous");
+  report.add_metric("entry_capacity_scale", kEntryScale);
+  report.add_metric("static_saturation_cps", g_static);
+  report.add_metric("servartuka_saturation_cps", g_dynamic);
+  report.add_metric("servartuka_entry_stateful_share",
+                    g_entry_stateful_share);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -24,30 +24,42 @@ std::vector<BoundPoint> g_points;
 // Offered load just past the static chain's knee.
 constexpr double kOffered = 9600.0;
 
-double run(PolicyKind policy, double bound_ms) {
-  auto options = scenario(policy);
-  options.max_queue_delay =
-      SimTime::millis(static_cast<std::int64_t>(bound_ms));
-  auto mo = measure_options();
-  mo.measure = SimTime::seconds(15.0);  // storms need time to show
-  const auto result = workload::measure_point(
-      workload::series_chain(2, options), scaled(kOffered), mo);
-  return full(result.throughput_cps);
+constexpr double kBoundsMs[] = {25.0, 50.0, 100.0, 200.0, 400.0, 800.0};
+
+std::function<workload::PointResult()> make_job(PolicyKind policy,
+                                                double bound_ms) {
+  return [policy, bound_ms] {
+    auto options = scenario(policy);
+    options.max_queue_delay =
+        SimTime::millis(static_cast<std::int64_t>(bound_ms));
+    auto mo = measure_options();
+    mo.measure = SimTime::seconds(15.0);  // storms need time to show
+    return workload::measure_point(workload::series_chain(2, options),
+                                   scaled(kOffered), mo);
+  };
 }
 
-void BM_OverloadBound(benchmark::State& state) {
-  const double bound_ms = static_cast<double>(state.range(0));
-  BoundPoint point{bound_ms, 0.0, 0.0};
+/// Every (bound, policy) combination is an independent simulation; fan all
+/// of them across the runner's worker threads at once.
+void BM_OverloadBoundSweep(benchmark::State& state) {
   for (auto _ : state) {
-    point.static_tput = run(PolicyKind::kStaticAllStateful, bound_ms);
-    point.dynamic_tput = run(PolicyKind::kServartuka, bound_ms);
+    std::vector<std::function<workload::PointResult()>> jobs;
+    for (const double bound_ms : kBoundsMs) {
+      jobs.push_back(make_job(PolicyKind::kStaticAllStateful, bound_ms));
+      jobs.push_back(make_job(PolicyKind::kServartuka, bound_ms));
+    }
+    const auto results = workload::run_points_parallel(jobs, g_threads);
+    g_points.clear();
+    for (std::size_t i = 0; i < std::size(kBoundsMs); ++i) {
+      g_points.push_back(
+          BoundPoint{kBoundsMs[i], full(results[2 * i].throughput_cps),
+                     full(results[2 * i + 1].throughput_cps)});
+    }
   }
-  g_points.push_back(point);
-  state.counters["static_cps"] = point.static_tput;
-  state.counters["servartuka_cps"] = point.dynamic_tput;
+  state.counters["points"] = static_cast<double>(g_points.size());
 }
-BENCHMARK(BM_OverloadBound)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
-    ->Arg(800)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OverloadBoundSweep)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 void print_summary() {
   print_header("Ablation: overload-control queue bound",
@@ -63,11 +75,27 @@ void print_summary() {
               " queues — throughput collapses)\n");
 }
 
+void write_json() {
+  BenchReport report("abl_overload_control");
+  JsonValue& points = report.root()["bounds"];
+  points = JsonValue::array();
+  for (const BoundPoint& p : g_points) {
+    JsonValue entry = JsonValue::object();
+    entry["bound_ms"] = p.bound_ms;
+    entry["static_throughput_cps"] = p.static_tput;
+    entry["servartuka_throughput_cps"] = p.dynamic_tput;
+    points.push_back(std::move(entry));
+  }
+  report.add_metric("offered_cps", kOffered);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

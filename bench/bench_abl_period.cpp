@@ -20,25 +20,36 @@ std::vector<PeriodPoint> g_points;
 // distribution is doing real work.
 constexpr double kOffered = 10800.0;
 
-void BM_AblPeriod(benchmark::State& state) {
-  const double period_ms = static_cast<double>(state.range(0));
-  PeriodPoint point{period_ms / 1000.0, 0.0};
+constexpr double kPeriodsMs[] = {125.0, 250.0, 500.0, 1000.0, 2000.0,
+                                 4000.0};
+
+/// All periods are independent single-point simulations; fan them across
+/// the runner's worker threads in one benchmark iteration.
+void BM_AblPeriodSweep(benchmark::State& state) {
   for (auto _ : state) {
-    auto options = scenario(PolicyKind::kServartuka);
-    options.controller_period =
-        SimTime::millis(static_cast<std::int64_t>(period_ms));
-    auto mo = measure_options();
-    // Give slow controllers time to converge.
-    mo.warmup = SimTime::seconds(6.0 + 10.0 * point.period_s);
-    const auto result = workload::measure_point(
-        workload::series_chain(2, options), scaled(kOffered), mo);
-    point.throughput_cps = full(result.throughput_cps);
+    std::vector<std::function<workload::PointResult()>> jobs;
+    for (const double period_ms : kPeriodsMs) {
+      jobs.emplace_back([period_ms] {
+        auto options = scenario(PolicyKind::kServartuka);
+        options.controller_period =
+            SimTime::millis(static_cast<std::int64_t>(period_ms));
+        auto mo = measure_options();
+        // Give slow controllers time to converge.
+        mo.warmup = SimTime::seconds(6.0 + 10.0 * period_ms / 1000.0);
+        return workload::measure_point(workload::series_chain(2, options),
+                                       scaled(kOffered), mo);
+      });
+    }
+    const auto results = workload::run_points_parallel(jobs, g_threads);
+    g_points.clear();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      g_points.push_back(PeriodPoint{kPeriodsMs[i] / 1000.0,
+                                     full(results[i].throughput_cps)});
+    }
   }
-  g_points.push_back(point);
-  state.counters["throughput_cps"] = point.throughput_cps;
+  state.counters["points"] = static_cast<double>(g_points.size());
 }
-BENCHMARK(BM_AblPeriod)->Arg(125)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
-    ->Arg(4000)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AblPeriodSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void print_summary() {
   print_header("Ablation: monitoring period",
@@ -51,11 +62,26 @@ void print_summary() {
               " around that value\n and degrade only for extreme periods)\n");
 }
 
+void write_json() {
+  BenchReport report("abl_period");
+  JsonValue& points = report.root()["periods"];
+  points = JsonValue::array();
+  for (const PeriodPoint& p : g_points) {
+    JsonValue entry = JsonValue::object();
+    entry["period_s"] = p.period_s;
+    entry["throughput_cps"] = p.throughput_cps;
+    points.push_back(std::move(entry));
+  }
+  report.add_metric("offered_cps", kOffered);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -120,11 +120,41 @@ void print_summary() {
   }
 }
 
+void write_json() {
+  BenchReport report("fig3_functionality_costs");
+  JsonValue& modes = report.root()["modes"];
+  modes = JsonValue::array();
+  static constexpr CostBlock kOrder[] = {
+      CostBlock::kParsing, CostBlock::kMemory,  CostBlock::kLumping,
+      CostBlock::kRouting, CostBlock::kHashing, CostBlock::kLookup,
+      CostBlock::kState,   CostBlock::kAuth,    CostBlock::kOther,
+  };
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    JsonValue entry = JsonValue::object();
+    entry["mode"] = std::string(to_string(kModes[m].stateful_mode));
+    entry["events_per_call"] = g_results[m].events_per_call;
+    entry["paper_events_per_call"] = kModes[m].paper_events;
+    entry["calls"] = g_results[m].calls;
+    JsonValue& blocks = entry["blocks"];
+    for (const CostBlock block : kOrder) {
+      const double per_call =
+          g_results[m].calls
+              ? g_results[m].breakdown[block] /
+                    static_cast<double>(g_results[m].calls)
+              : 0.0;
+      blocks[std::string(to_string(block))] = per_call;
+    }
+    modes.push_back(std::move(entry));
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -15,6 +15,7 @@ struct UtilSeries {
   std::string name;
   std::vector<std::pair<double, double>> points;  // offered, util %
   double saturation_cps = 0.0;
+  std::vector<RunRecord> records;
 };
 UtilSeries g_stateful;
 UtilSeries g_stateless;
@@ -24,14 +25,15 @@ UtilSeries run_utilization(const char* name, PolicyKind policy) {
   series.name = name;
   const auto factory = workload::single_proxy(scenario(policy, 1));
   // The paper sweeps 20..14000 cps in even steps.
-  for (double offered = 1000.0; offered <= 14000.0; offered += 1000.0) {
-    const auto point = workload::measure_point(factory, scaled(offered),
-                                               measure_options());
-    series.points.emplace_back(offered, 100.0 * point.proxy_utilization[0]);
-    if (full(point.throughput_cps) > series.saturation_cps) {
-      series.saturation_cps = full(point.throughput_cps);
-    }
+  const auto sweep = workload::run_sweep_parallel(
+      factory, scaled(1000.0), scaled(14000.0), scaled(1000.0),
+      measure_options(), g_threads);
+  for (const auto& point : sweep.points) {
+    series.points.emplace_back(full(point.offered_cps),
+                               100.0 * point.proxy_utilization[0]);
+    series.records.push_back(full_record(point, name));
   }
+  series.saturation_cps = full(sweep.max_throughput_cps);
   return series;
 }
 
@@ -60,8 +62,8 @@ void print_summary() {
     std::printf("%-14.0f %18.1f %18.1f\n", g_stateful.points[i].first,
                 g_stateful.points[i].second, g_stateless.points[i].second);
   }
-  Series sf{"stateful", g_stateful.points, 0.0};
-  Series sl{"stateless", g_stateless.points, 0.0};
+  Series sf{"stateful", g_stateful.points, 0.0, {}};
+  Series sl{"stateless", g_stateless.points, 0.0, {}};
   print_ascii_chart("CPU utilization (%) vs offered load (cps)", {sf, sl});
 
   std::printf("\npaper vs measured (saturation, cps):\n");
@@ -70,11 +72,24 @@ void print_summary() {
                   g_stateless.saturation_cps);
 }
 
+void write_json() {
+  BenchReport report("fig4_utilization");
+  for (const UtilSeries* s : {&g_stateful, &g_stateless}) {
+    Series series{s->name, s->points, s->saturation_cps, s->records};
+    report.add_series(series);
+    report.add_metric(s->name + "_saturation_cps", s->saturation_cps);
+  }
+  report.add_metric("paper_stateful_saturation_cps", 10360.0);
+  report.add_metric("paper_stateless_saturation_cps", 12300.0);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

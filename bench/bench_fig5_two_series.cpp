@@ -84,11 +84,25 @@ void print_summary() {
               g_best_static.max_value);
 }
 
+void write_json() {
+  BenchReport report("fig5_two_series");
+  report.add_series(g_static);
+  report.add_series(g_best_static);
+  report.add_series(g_dynamic);
+  report.add_metric("static_saturation_cps", g_static.max_value);
+  report.add_metric("best_static_saturation_cps", g_best_static.max_value);
+  report.add_metric("servartuka_saturation_cps", g_dynamic.max_value);
+  report.add_metric("paper_static_saturation_cps", 8540.0);
+  report.add_metric("paper_servartuka_saturation_cps", 9790.0);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

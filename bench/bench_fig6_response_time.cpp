@@ -19,6 +19,7 @@ struct RtSeries {
   std::string name;
   // offered -> (mean ms, p90 ms, throughput)
   std::vector<std::tuple<double, double, double, double>> points;
+  std::vector<RunRecord> records;
 };
 RtSeries g_stateful;
 RtSeries g_dynamic;
@@ -28,12 +29,14 @@ RtSeries run_rt(const char* name, PolicyKind policy) {
   RtSeries series;
   series.name = name;
   const auto factory = workload::series_chain(2, scenario(policy));
-  for (double offered = 7000.0; offered <= 13500.0; offered += 500.0) {
-    const auto point = workload::measure_point(factory, scaled(offered),
-                                               measure_options());
-    series.points.emplace_back(offered, point.setup_ms_mean,
+  const auto sweep = workload::run_sweep_parallel(
+      factory, scaled(7000.0), scaled(13500.0), scaled(500.0),
+      measure_options(), g_threads);
+  for (const auto& point : sweep.points) {
+    series.points.emplace_back(full(point.offered_cps), point.setup_ms_mean,
                                point.setup_ms_p90,
                                full(point.throughput_cps));
+    series.records.push_back(full_record(point, name));
   }
   return series;
 }
@@ -79,8 +82,8 @@ void print_summary() {
   }
 
   {
-    bench::Series sf{"stateful", {}, 0.0}, dy{"SERvartuka", {}, 0.0},
-        sl{"stateless", {}, 0.0};
+    bench::Series sf{"stateful", {}, 0.0, {}}, dy{"SERvartuka", {}, 0.0, {}},
+        sl{"stateless", {}, 0.0, {}};
     for (const auto& [offered, mean, p90, tput] : g_stateful.points) {
       sf.points.emplace_back(offered, mean);
     }
@@ -118,11 +121,24 @@ void print_summary() {
               worst(g_stateless, 13000.0, 13000.0));
 }
 
+void write_json() {
+  BenchReport report("fig6_response_time");
+  for (const RtSeries* s : {&g_stateful, &g_dynamic, &g_stateless}) {
+    Series series{s->name, {}, 0.0, s->records};
+    for (const auto& [offered, mean, p90, tput] : s->points) {
+      series.points.emplace_back(offered, mean);
+    }
+    report.add_series(series);
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

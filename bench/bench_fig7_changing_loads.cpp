@@ -24,9 +24,7 @@ std::vector<FractionPoint> g_points;
 double find_sat(PolicyKind policy, double fraction) {
   const auto factory =
       workload::two_series_with_internal(fraction, scenario(policy));
-  return full(workload::find_saturation(factory, scaled(8000.0),
-                                        scaled(13000.0), scaled(500.0),
-                                        measure_options()));
+  return find_saturation_full(factory, 8000.0, 13000.0, 500.0);
 }
 
 double lp_bound(double fraction) {
@@ -69,7 +67,8 @@ void print_summary() {
                 p.dynamic_sat, p.lp_bound);
     if (p.fraction > 0.75 && p.fraction < 0.85) at80 = &p;
   }
-  Series st{"static", {}, 0.0}, dy{"SERvartuka", {}, 0.0}, lp{"LP", {}, 0.0};
+  Series st{"static", {}, 0.0, {}}, dy{"SERvartuka", {}, 0.0, {}},
+      lp{"LP", {}, 0.0, {}};
   for (const FractionPoint& p : g_points) {
     st.points.emplace_back(p.fraction, p.static_sat);
     dy.points.emplace_back(p.fraction, p.dynamic_sat);
@@ -88,11 +87,30 @@ void print_summary() {
   }
 }
 
+void write_json() {
+  BenchReport report("fig7_changing_loads");
+  JsonValue& points = report.root()["fractions"];
+  points = JsonValue::array();
+  for (const FractionPoint& p : g_points) {
+    JsonValue entry = JsonValue::object();
+    entry["external_fraction"] = p.fraction;
+    entry["static_saturation_cps"] = p.static_sat;
+    entry["servartuka_saturation_cps"] = p.dynamic_sat;
+    entry["lp_bound_cps"] = p.lp_bound;
+    points.push_back(std::move(entry));
+  }
+  report.add_metric("paper_static_at_80_cps", 9540.0);
+  report.add_metric("paper_servartuka_at_80_cps", 11410.0);
+  report.add_metric("paper_lp_at_80_cps", 11960.0);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -76,11 +76,23 @@ void print_summary() {
               g_dynamic.max_value / g_static.max_value);
 }
 
+void write_json() {
+  BenchReport report("fig8_parallel");
+  report.add_series(g_static);
+  report.add_series(g_dynamic);
+  report.add_metric("static_saturation_cps", g_static.max_value);
+  report.add_metric("servartuka_saturation_cps", g_dynamic.max_value);
+  report.add_metric("paper_static_saturation_cps", 11990.0);
+  report.add_metric("paper_servartuka_saturation_cps", 12830.0);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -123,11 +123,24 @@ void print_summary() {
               " (entry stays stateless)\n", g_fork);
 }
 
+void write_json() {
+  BenchReport report("tbl_lp_optima");
+  report.add_metric("two_series_optimum_cps", g_two_series);
+  report.add_metric("two_series_stateful_node1_cps", g_two_series_sf1);
+  report.add_metric("three_series_optimum_cps", g_three_series);
+  report.add_metric("mix80_optimum_cps", g_mix80);
+  report.add_metric("fork_optimum_cps", g_fork);
+  report.add_metric("paper_two_series_optimum_cps", 11240.0);
+  report.add_metric("paper_mix80_optimum_cps", 11960.0);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

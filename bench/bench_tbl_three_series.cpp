@@ -14,9 +14,7 @@ double g_dynamic = 0.0;
 
 double find_sat(PolicyKind policy) {
   const auto factory = workload::series_chain(3, scenario(policy));
-  return full(workload::find_saturation(factory, scaled(7000.0),
-                                        scaled(13000.0), scaled(500.0),
-                                        measure_options()));
+  return find_saturation_full(factory, 7000.0, 13000.0, 500.0);
 }
 
 void BM_ThreeSeries_Static(benchmark::State& state) {
@@ -55,11 +53,21 @@ void print_summary() {
               100.0 * (g_dynamic / g_static - 1.0));
 }
 
+void write_json() {
+  BenchReport report("tbl_three_series");
+  report.add_metric("static_saturation_cps", g_static);
+  report.add_metric("servartuka_saturation_cps", g_dynamic);
+  report.add_metric("paper_static_saturation_cps", 8780.0);
+  report.add_metric("paper_servartuka_saturation_cps", 10180.0);
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  svk::bench::initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_json();
   return 0;
 }

@@ -11,13 +11,50 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/json.hpp"
+#include "common/run_record.hpp"
+#include "common/thread_pool.hpp"
 #include "workload/runner.hpp"
 #include "workload/scenarios.hpp"
 
 namespace svk::bench {
+
+/// Worker threads for the parallel sweep runner: 0 means "hardware
+/// concurrency". Set by --threads=N (stripped before google-benchmark sees
+/// the flags) or the SVK_BENCH_THREADS environment variable.
+inline std::size_t g_threads = 0;
+
+/// Resolved thread count actually used by the runner.
+[[nodiscard]] inline std::size_t effective_threads() {
+  return g_threads != 0 ? g_threads : ThreadPool::default_threads();
+}
+
+/// Shared bench entry point: parses/strips the harness's own flags, then
+/// hands the rest to google-benchmark.
+inline void initialize(int* argc, char** argv) {
+  if (const char* env = std::getenv("SVK_BENCH_THREADS")) {
+    g_threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kThreadsFlag = "--threads=";
+    if (arg.rfind(kThreadsFlag, 0) == 0) {
+      g_threads = static_cast<std::size_t>(
+          std::strtoul(arg.substr(kThreadsFlag.size()).data(), nullptr, 10));
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  benchmark::Initialize(argc, argv);
+}
 
 /// Simulation scale: capacities (and hence rates) at 1/10 of calibration.
 inline constexpr double kScale = 0.1;
@@ -47,27 +84,49 @@ inline constexpr double kScale = 0.1;
   return options;
 }
 
-/// One plotted series: (offered, value) in full-scale units.
+/// One plotted series: (offered, value) in full-scale units, plus the full
+/// measured records behind the plot for the JSON report.
 struct Series {
   std::string name;
   std::vector<std::pair<double, double>> points;
   double max_value = 0.0;
+  std::vector<RunRecord> records;
 };
 
+/// Converts a measured (scaled) point to a full-scale record.
+[[nodiscard]] inline RunRecord full_record(const workload::PointResult& point,
+                                           std::string label = {}) {
+  return workload::to_run_record(point, 1.0 / kScale, std::move(label));
+}
+
+/// Runs a load sweep through the parallel runner and extracts the
+/// throughput series (full-scale). The measured values are bit-identical
+/// to the serial runner's; only wall-clock changes.
 [[nodiscard]] inline Series run_throughput_series(
     const std::string& name, const workload::BedFactory& factory,
     double lo_full, double hi_full, double step_full) {
   Series series;
   series.name = name;
-  const auto sweep = workload::sweep(factory, scaled(lo_full),
-                                     scaled(hi_full), scaled(step_full),
-                                     measure_options());
+  const auto sweep = workload::run_sweep_parallel(
+      factory, scaled(lo_full), scaled(hi_full), scaled(step_full),
+      measure_options(), g_threads);
   for (const auto& point : sweep.points) {
     series.points.emplace_back(full(point.offered_cps),
                                full(point.throughput_cps));
+    series.records.push_back(full_record(point, name));
   }
   series.max_value = full(sweep.max_throughput_cps);
   return series;
+}
+
+/// Parallel saturation search in full-scale units.
+[[nodiscard]] inline double find_saturation_full(
+    const workload::BedFactory& factory, double lo_full, double hi_full,
+    double step_full,
+    const workload::MeasureOptions& options = measure_options()) {
+  return full(workload::find_saturation_parallel(
+      factory, scaled(lo_full), scaled(hi_full), scaled(step_full), options,
+      g_threads));
 }
 
 inline void print_series_table(const char* title, const char* y_label,
@@ -151,5 +210,77 @@ inline void print_header(const char* figure, const char* description) {
   std::printf("%s — %s\n", figure, description);
   std::printf("==============================================================\n");
 }
+
+/// Where BENCH_<name>.json files land: $SVK_BENCH_JSON_DIR when set,
+/// otherwise the repo root (baked in at configure time), otherwise the
+/// current directory.
+[[nodiscard]] inline std::string json_output_dir() {
+  if (const char* env = std::getenv("SVK_BENCH_JSON_DIR")) return env;
+#ifdef SVK_REPO_ROOT
+  return SVK_REPO_ROOT;
+#else
+  return ".";
+#endif
+}
+
+/// Machine-readable bench results. Every bench binary fills one of these
+/// alongside its stdout tables and writes BENCH_<name>.json (schema in
+/// EXPERIMENTS.md). All rates are full-scale calls/second.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    root_ = JsonValue::object();
+    root_["bench"] = name_;
+    root_["schema_version"] = 1;
+    root_["scale"] = kScale;
+    root_["threads"] = static_cast<std::uint64_t>(effective_threads());
+    root_["units"] = "full-scale calls/second";
+  }
+
+  /// Free-form access for bench-specific payloads.
+  [[nodiscard]] JsonValue& root() { return root_; }
+
+  /// Adds a sweep series with its full per-point records.
+  void add_series(const Series& series) {
+    JsonValue entry = JsonValue::object();
+    entry["name"] = series.name;
+    entry["max_value"] = series.max_value;
+    JsonValue& points = entry["points"];
+    points = JsonValue::array();
+    if (!series.records.empty()) {
+      for (const RunRecord& record : series.records) {
+        points.push_back(record.to_json());
+      }
+    } else {
+      for (const auto& [x, y] : series.points) {
+        JsonValue p = JsonValue::object();
+        p["x"] = x;
+        p["y"] = y;
+        points.push_back(std::move(p));
+      }
+    }
+    root_["series"].push_back(std::move(entry));
+  }
+
+  /// Adds one scalar result (saturation points, paper anchors, ...).
+  void add_metric(std::string_view key, double value) {
+    root_["metrics"][key] = value;
+  }
+
+  /// Writes BENCH_<name>.json; prints where it went (or that it failed).
+  void write() {
+    const std::string path =
+        json_output_dir() + "/BENCH_" + name_ + ".json";
+    if (root_.write_file(path)) {
+      std::printf("\nresults written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "\nfailed to write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  JsonValue root_;
+};
 
 }  // namespace svk::bench

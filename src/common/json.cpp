@@ -1,0 +1,152 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+namespace svk {
+namespace {
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec == std::errc{}) {
+    out.append(buf, ptr);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonValue::JsonValue(std::uint64_t u) {
+  if (u <= static_cast<std::uint64_t>(
+               std::numeric_limits<std::int64_t>::max())) {
+    value_ = static_cast<std::int64_t>(u);
+  } else {
+    value_ = static_cast<double>(u);
+  }
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Object{};
+  auto& members = std::get<Object>(value_);
+  for (Member& member : members) {
+    if (member.first == key) return member.second;
+  }
+  members.emplace_back(std::string(key), JsonValue{});
+  return members.back().second;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::size_t JsonValue::size() const {
+  if (const auto* arr = std::get_if<Array>(&value_)) return arr->size();
+  if (const auto* obj = std::get_if<Object>(&value_)) return obj->size();
+  return 0;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    char buf[24];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), *i);
+    (void)ec;
+    out.append(buf, ptr);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    append_double(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += json_escape(*s);
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t k = 0; k < arr->size(); ++k) {
+      if (k > 0) out += ',';
+      if (pretty) append_indent(out, indent, depth + 1);
+      (*arr)[k].dump_to(out, indent, depth + 1);
+    }
+    if (pretty) append_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t k = 0; k < obj.size(); ++k) {
+      if (k > 0) out += ',';
+      if (pretty) append_indent(out, indent, depth + 1);
+      out += json_escape(obj[k].first);
+      out += pretty ? ": " : ":";
+      obj[k].second.dump_to(out, indent, depth + 1);
+    }
+    if (pretty) append_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool JsonValue::write_file(const std::string& path, int indent) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << dump(indent) << '\n';
+  return static_cast<bool>(file);
+}
+
+}  // namespace svk

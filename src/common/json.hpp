@@ -1,0 +1,88 @@
+// Minimal JSON document builder + serializer (no third-party deps).
+//
+// Only what the bench/result pipeline needs: build a tree of
+// objects/arrays/numbers/strings/bools and dump it as standards-compliant
+// JSON text. Object keys keep insertion order so emitted files diff
+// cleanly across runs. There is intentionally no parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace svk {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(unsigned u) : value_(static_cast<std::int64_t>(u)) {}
+  JsonValue(std::int64_t i) : value_(i) {}
+  JsonValue(std::uint64_t u);
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string_view s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.value_ = Object{};
+    return v;
+  }
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.value_ = Array{};
+    return v;
+  }
+  /// Builds an array from any container of values convertible to JsonValue.
+  template <typename Container>
+  [[nodiscard]] static JsonValue array_of(const Container& items) {
+    JsonValue v = array();
+    for (const auto& item : items) v.push_back(JsonValue(item));
+    return v;
+  }
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+
+  /// Object member access; creates the member (and converts a null value to
+  /// an object) on first use, like nlohmann/json.
+  JsonValue& operator[](std::string_view key);
+
+  /// Appends to an array (converts a null value to an array on first use).
+  void push_back(JsonValue v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes. `indent` < 0 produces compact single-line output;
+  /// otherwise pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Serializes straight to a file. Returns false on I/O failure.
+  bool write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               Array, Object>
+      value_;
+};
+
+/// Escapes a string for embedding in JSON (adds surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace svk

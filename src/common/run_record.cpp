@@ -1,0 +1,26 @@
+#include "common/run_record.hpp"
+
+namespace svk {
+
+JsonValue RunRecord::to_json() const {
+  JsonValue v = JsonValue::object();
+  if (!label.empty()) v["label"] = label;
+  v["offered_cps"] = offered_cps;
+  v["achieved_cps"] = achieved_cps;
+  v["attempted_cps"] = attempted_cps;
+  v["goodput_ratio"] = goodput_ratio;
+  JsonValue& setup = v["setup_ms"];
+  setup["mean"] = setup_ms_mean;
+  setup["p50"] = setup_ms_p50;
+  setup["p90"] = setup_ms_p90;
+  setup["p99"] = setup_ms_p99;
+  v["retransmissions"] = retransmissions;
+  v["calls_failed"] = calls_failed;
+  v["busy_500"] = busy_500;
+  v["node_utilization"] = JsonValue::array_of(node_utilization);
+  v["node_rejected"] = JsonValue::array_of(node_rejected);
+  v["wall_seconds"] = wall_seconds;
+  return v;
+}
+
+}  // namespace svk

@@ -1,0 +1,40 @@
+// RunRecord — one load point of a measurement run in a layer-neutral,
+// serializable form. The workload runner fills these from its PointResults
+// and the bench harness dumps them into BENCH_<name>.json (schema
+// documented in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace svk {
+
+struct RunRecord {
+  std::string label;  // series or configuration name, may be empty
+
+  double offered_cps = 0.0;
+  double achieved_cps = 0.0;   // throughput measured at the UASes
+  double attempted_cps = 0.0;
+  double goodput_ratio = 0.0;
+
+  double setup_ms_mean = 0.0;
+  double setup_ms_p50 = 0.0;
+  double setup_ms_p90 = 0.0;
+  double setup_ms_p99 = 0.0;
+
+  std::uint64_t retransmissions = 0;
+  std::uint64_t calls_failed = 0;
+  std::uint64_t busy_500 = 0;
+
+  std::vector<double> node_utilization;        // per node, in [0,1]
+  std::vector<std::uint64_t> node_rejected;    // 500s sent per node
+
+  double wall_seconds = 0.0;  // real time spent measuring this point
+
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+}  // namespace svk

@@ -56,11 +56,11 @@ double Histogram::quantile(double q) const {
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;  // an empty bin holds no quantile
     const double next = cum + static_cast<double>(bins_[i]);
     if (next >= target) {
       // Interpolate within bin i.
-      const double frac =
-          bins_[i] ? (target - cum) / static_cast<double>(bins_[i]) : 0.0;
+      const double frac = (target - cum) / static_cast<double>(bins_[i]);
       return (static_cast<double>(i) + frac) * bin_width_;
     }
     cum = next;

@@ -1,0 +1,60 @@
+// Fixed-size thread pool for fanning independent simulations across cores.
+//
+// Deliberately minimal: a shared FIFO of tasks, no work stealing, no
+// futures. The measurement layer only needs "run these N independent jobs
+// and wait"; determinism is preserved by indexing results, never by
+// completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace svk {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 picks the hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (the simulation layer reports
+  /// failures through its results, not exceptions).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// The pool size used when callers pass 0 threads.
+  [[nodiscard]] static std::size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t active_{0};
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0) .. fn(count-1) across `threads` workers and waits for all of
+/// them. With `threads` <= 1 the calls run inline, in index order. `fn` must
+/// be safe to invoke concurrently for distinct indices.
+void parallel_for_index(std::size_t threads, std::size_t count,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace svk

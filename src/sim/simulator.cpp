@@ -13,40 +13,38 @@ EventId Simulator::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(action)});
+  pending_.insert(id);
   return id;
 }
 
 void Simulator::cancel(EventId id) {
-  if (id != 0 && id < next_id_) cancelled_.insert(id);
+  // Only ids that are still pending grow the tombstone set; cancelling an
+  // already-run (or never-issued) id would otherwise leave a stale entry
+  // that no queue pop ever reclaims.
+  if (pending_.erase(id) != 0) cancelled_.insert(id);
 }
 
-bool Simulator::step() {
+bool Simulator::settle_top() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    if (cancelled_.erase(queue_.top().id) == 0) return true;
     queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.at;
-    ++executed_;
-    ev.action();
-    return true;
   }
   return false;
 }
 
+bool Simulator::step() {
+  if (!settle_top()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  pending_.erase(ev.id);
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
 void Simulator::run_until(SimTime until) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.contains(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.at > until) break;
-    step();
-  }
+  while (settle_top() && queue_.top().at <= until) step();
   if (now_ < until) now_ = until;
 }
 

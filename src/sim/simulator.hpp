@@ -34,8 +34,10 @@ class Simulator {
   /// Schedules `action` at an absolute time (clamped to now).
   EventId schedule_at(SimTime when, Action action);
 
-  /// Cancels a pending event. Cancelling an already-run or unknown id is a
-  /// harmless no-op.
+  /// Cancels a pending event. Cancelling an already-run, already-cancelled
+  /// or unknown id is a harmless no-op (it must not disturb the pending
+  /// accounting — ids are routinely cancelled from inside their own action,
+  /// e.g. PeriodicTimer::stop() within its own tick).
   void cancel(EventId id);
 
   /// Runs events until the queue is empty or `until` is passed. The clock
@@ -51,10 +53,10 @@ class Simulator {
   /// Number of events executed so far (diagnostics).
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
 
-  /// Pending (non-cancelled) event count.
-  [[nodiscard]] std::size_t pending_count() const {
-    return queue_.size() - cancelled_.size();
-  }
+  /// Pending (non-cancelled) event count. Safe by construction: it reports
+  /// the live-id set directly instead of deriving a difference of queue and
+  /// tombstone sizes (which underflowed when a stale id was cancelled).
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
  private:
   struct Event {
@@ -69,11 +71,17 @@ class Simulator {
     }
   };
 
+  /// Discards cancelled entries from the front of the queue — the single
+  /// place lazy deletion happens. Returns true when the queue top is a
+  /// runnable event.
+  bool settle_top();
+
   SimTime now_;
   EventId next_id_{1};
   std::uint64_t executed_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;    // scheduled, not run or cancelled
+  std::unordered_set<EventId> cancelled_;  // tombstones still in queue_
 };
 
 /// A repeating timer bound to a simulator. Ticks every `period` until

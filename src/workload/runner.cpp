@@ -1,7 +1,11 @@
 #include "workload/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
 
+#include "common/thread_pool.hpp"
 #include "sim/cpu_queue.hpp"
 
 namespace svk::workload {
@@ -42,10 +46,57 @@ Snapshot take_snapshot(TestBed& bed) {
   return s;
 }
 
+/// The load grid of a sweep. Accumulates exactly like the serial loop
+/// always did (`offered += step`), so serial and parallel sweeps measure
+/// bit-identical offered loads.
+std::vector<double> load_grid(double lo, double hi, double step) {
+  std::vector<double> grid;
+  for (double offered = lo; offered <= hi + 1e-9; offered += step) {
+    grid.push_back(offered);
+  }
+  return grid;
+}
+
+/// Folds measured points into a SweepResult with the serial max-tracking
+/// semantics (strictly-greater updates, in grid order).
+SweepResult fold_points(std::vector<PointResult> points) {
+  SweepResult result;
+  for (PointResult& point : points) {
+    if (point.throughput_cps > result.max_throughput_cps) {
+      result.max_throughput_cps = point.throughput_cps;
+      result.offered_at_max = point.offered_cps;
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
 }  // namespace
+
+RunRecord to_run_record(const PointResult& point, double rate_scale,
+                        std::string label) {
+  RunRecord record;
+  record.label = std::move(label);
+  record.offered_cps = point.offered_cps * rate_scale;
+  record.achieved_cps = point.throughput_cps * rate_scale;
+  record.attempted_cps = point.attempted_cps * rate_scale;
+  record.goodput_ratio = point.goodput_ratio;
+  record.setup_ms_mean = point.setup_ms_mean;
+  record.setup_ms_p50 = point.setup_ms_p50;
+  record.setup_ms_p90 = point.setup_ms_p90;
+  record.setup_ms_p99 = point.setup_ms_p99;
+  record.retransmissions = point.retransmissions;
+  record.calls_failed = point.calls_failed;
+  record.busy_500 = point.busy_500;
+  record.node_utilization = point.proxy_utilization;
+  record.node_rejected = point.proxy_rejected;
+  record.wall_seconds = point.wall_seconds;
+  return record;
+}
 
 PointResult measure_point(const BedFactory& factory, double offered_cps,
                           const MeasureOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
   std::unique_ptr<TestBed> bed = factory(offered_cps);
   sim::Simulator& sim = bed->sim();
 
@@ -117,6 +168,10 @@ PointResult measure_point(const BedFactory& factory, double offered_cps,
     result.proxy_stateless.push_back(after.proxy_stateless[i] -
                                      before.proxy_stateless[i]);
   }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return result;
 }
 
@@ -125,7 +180,7 @@ SweepResult sweep(const BedFactory& factory, double lo, double hi,
                   bool early_stop) {
   SweepResult result;
   int declining = 0;
-  for (double offered = lo; offered <= hi + 1e-9; offered += step) {
+  for (const double offered : load_grid(lo, hi, step)) {
     PointResult point = measure_point(factory, offered, options);
     if (point.throughput_cps > result.max_throughput_cps) {
       result.max_throughput_cps = point.throughput_cps;
@@ -144,6 +199,65 @@ double find_saturation(const BedFactory& factory, double lo, double hi,
                        double step, const MeasureOptions& options) {
   return sweep(factory, lo, hi, step, options, /*early_stop=*/true)
       .max_throughput_cps;
+}
+
+SweepResult run_sweep_parallel(const BedFactory& factory, double lo,
+                               double hi, double step,
+                               const MeasureOptions& options,
+                               std::size_t threads) {
+  const std::vector<double> grid = load_grid(lo, hi, step);
+  std::vector<PointResult> points(grid.size());
+  parallel_for_index(threads, grid.size(), [&](std::size_t i) {
+    points[i] = measure_point(factory, grid[i], options);
+  });
+  return fold_points(std::move(points));
+}
+
+std::vector<PointResult> run_points_parallel(
+    const std::vector<std::function<PointResult()>>& jobs,
+    std::size_t threads) {
+  std::vector<PointResult> results(jobs.size());
+  parallel_for_index(threads, jobs.size(),
+                     [&](std::size_t i) { results[i] = jobs[i](); });
+  return results;
+}
+
+double find_saturation_parallel(const BedFactory& factory, double lo,
+                                double hi, double step,
+                                const MeasureOptions& options,
+                                std::size_t threads, double coarse_mult) {
+  if (hi < lo) return 0.0;
+  const double coarse =
+      std::min(std::max(step * std::max(coarse_mult, 1.0), step), hi - lo);
+  if (coarse <= 0.0) {  // degenerate range: a single point
+    return measure_point(factory, lo, options).throughput_cps;
+  }
+
+  // Phase 1 — serial coarse bracket around the knee.
+  const SweepResult bracket =
+      sweep(factory, lo, hi, coarse, options, /*early_stop=*/true);
+  double best = bracket.max_throughput_cps;
+  double center = bracket.offered_at_max;
+
+  // Phase 2 — bisect the bracket: each halving probes both flanks of the
+  // current center concurrently and re-centers on the best point seen.
+  for (double span = coarse / 2.0; span >= step - 1e-9; span /= 2.0) {
+    std::vector<double> probes;
+    if (center - span >= lo - 1e-9) probes.push_back(center - span);
+    if (center + span <= hi + 1e-9) probes.push_back(center + span);
+    if (probes.empty()) break;
+    std::vector<PointResult> results(probes.size());
+    parallel_for_index(threads, probes.size(), [&](std::size_t i) {
+      results[i] = measure_point(factory, probes[i], options);
+    });
+    for (const PointResult& point : results) {
+      if (point.throughput_cps > best) {
+        best = point.throughput_cps;
+        center = point.offered_cps;
+      }
+    }
+  }
+  return best;
 }
 
 }  // namespace svk::workload

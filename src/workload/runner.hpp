@@ -6,8 +6,10 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/run_record.hpp"
 #include "common/sim_time.hpp"
 #include "workload/testbed.hpp"
 
@@ -41,7 +43,19 @@ struct PointResult {
   std::vector<std::uint64_t> proxy_rejected;   // 500s sent per proxy
   std::vector<std::uint64_t> proxy_stateful;   // stateful forwards per proxy
   std::vector<std::uint64_t> proxy_stateless;  // stateless forwards per proxy
+
+  /// Real (host) time spent simulating this point. Not part of the
+  /// simulation output: identical runs may report different wall times.
+  double wall_seconds = 0.0;
 };
+
+/// Converts a measured point into the serializable record form. `rate_scale`
+/// multiplies every calls/second figure (benches use it to convert scaled
+/// simulation units back to full-scale cps); counts, times and utilizations
+/// are scale-free and pass through.
+[[nodiscard]] RunRecord to_run_record(const PointResult& point,
+                                      double rate_scale = 1.0,
+                                      std::string label = {});
 
 /// Builds a fresh, fully wired TestBed whose UACs offer `offered_cps` total.
 using BedFactory =
@@ -70,5 +84,36 @@ struct SweepResult {
 [[nodiscard]] double find_saturation(const BedFactory& factory, double lo,
                                      double hi, double step,
                                      const MeasureOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Parallel measurement. Every load point builds its own TestBed/Simulator,
+// so points are independent, deterministic simulations; fanning them across
+// threads changes wall-clock time only, never the measured values.
+// ---------------------------------------------------------------------------
+
+/// Same grid and same per-point simulations as `sweep` (without early
+/// stopping), with the points fanned across `threads` workers (0 = hardware
+/// concurrency). The result is bit-identical to the serial sweep.
+[[nodiscard]] SweepResult run_sweep_parallel(const BedFactory& factory,
+                                             double lo, double hi,
+                                             double step,
+                                             const MeasureOptions& options = {},
+                                             std::size_t threads = 0);
+
+/// Parallel saturation search: brackets the knee serially at a coarse step
+/// (early-stopping, as `find_saturation` does), then repeatedly bisects the
+/// bracket down to `step` resolution with the probe points of each level
+/// measured concurrently. Returns the maximum sustained throughput found.
+[[nodiscard]] double find_saturation_parallel(
+    const BedFactory& factory, double lo, double hi, double step,
+    const MeasureOptions& options = {}, std::size_t threads = 0,
+    double coarse_mult = 4.0);
+
+/// Runs arbitrary independent measurement jobs across `threads` workers,
+/// returning results in job order. For heterogeneous sweeps (per-point
+/// scenario options) that cannot go through run_sweep_parallel.
+[[nodiscard]] std::vector<PointResult> run_points_parallel(
+    const std::vector<std::function<PointResult()>>& jobs,
+    std::size_t threads = 0);
 
 }  // namespace svk::workload

@@ -83,7 +83,7 @@ std::vector<std::string> add_uas_farm(TestBed& bed,
   for (int j = 0; j < options.num_uas; ++j) {
     const std::string host =
         "uas" + std::to_string(j) + "." + std::string(domain);
-    bed.add_uas(UasConfig{host, Address{}, {}});
+    bed.add_uas(UasConfig{host, Address{}, {}, {}});
     hosts.push_back(host);
   }
   bed.register_users(std::string(domain), options.num_users, hosts);

@@ -2,16 +2,24 @@
 // Rng, statistics and MD5.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <set>
+#include <sstream>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "common/md5.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "common/run_record.hpp"
 #include "common/sim_time.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 
 namespace svk {
@@ -292,6 +300,35 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+// Regression: quantile() used to return the left edge of an *empty* bin
+// whenever the cumulative count already met the target there (q=0 with no
+// mass in bin 0 being the simplest case), instead of skipping ahead to the
+// next populated bin.
+TEST(HistogramTest, QuantileSkipsEmptyLeadingBins) {
+  Histogram h(100.0, 10);
+  h.add(55.0);
+  h.add(57.0);
+  // All mass lives in [50,60); q=0 must land there, not at 0.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 50.0);
+  EXPECT_GE(h.quantile(0.5), 50.0);
+  EXPECT_LE(h.quantile(1.0), 60.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesOnlyInPopulatedBins) {
+  Histogram h(100.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(15.0);  // bin 1
+  for (int i = 0; i < 4; ++i) h.add(85.0);  // bin 8
+  // Every quantile must fall inside a populated bin's range, never in the
+  // empty gap (20,80).
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double value = h.quantile(q);
+    const bool in_low = value >= 10.0 && value <= 20.0;
+    const bool in_high = value >= 80.0 && value <= 90.0;
+    EXPECT_TRUE(in_low || in_high) << "q=" << q << " -> " << value;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 85.0);  // target 6: 2/4 into bin 8
+}
+
 // ---------------------------------------------------------------------------
 // WindowedRate
 // ---------------------------------------------------------------------------
@@ -380,6 +417,209 @@ TEST(Md5Test, BlockBoundaryLengths) {
     incremental.update(data.substr(len / 2));
     EXPECT_EQ(to_hex(incremental.digest()), Md5::hex(data)) << len;
   }
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ScalarDump) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DoublesRoundTripShortest) {
+  // to_chars emits the shortest representation that parses back exactly.
+  EXPECT_EQ(JsonValue(0.1).dump(), "0.1");
+  EXPECT_EQ(JsonValue(10360.0).dump(), "10360");
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(JsonTest, Uint64AboveInt64MaxSurvives) {
+  // Values above int64 max fall back to double rather than wrapping
+  // negative.
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  const std::string text = JsonValue(big).dump();
+  EXPECT_EQ(text.find('-'), std::string::npos) << text;
+  EXPECT_EQ(JsonValue(std::uint64_t{123}).dump(), "123");
+}
+
+TEST(JsonTest, EscapingControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrderAndUpdatesInPlace) {
+  JsonValue obj = JsonValue::object();
+  obj["zeta"] = 1;
+  obj["alpha"] = 2;
+  obj["zeta"] = 3;  // update must not re-append
+  EXPECT_TRUE(obj.is_object());
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":3,\"alpha\":2}");
+}
+
+TEST(JsonTest, NullPromotesToObjectOrArrayOnFirstUse) {
+  JsonValue root = JsonValue::object();
+  root["nested"]["inner"] = true;  // null -> object
+  root["list"].push_back(1);       // null -> array
+  root["list"].push_back("two");
+  EXPECT_TRUE(root["nested"].is_object());
+  EXPECT_TRUE(root["list"].is_array());
+  EXPECT_EQ(root.dump(),
+            "{\"nested\":{\"inner\":true},\"list\":[1,\"two\"]}");
+}
+
+TEST(JsonTest, ArrayOfBuildsFromContainers) {
+  const std::vector<double> xs = {1.0, 2.5};
+  EXPECT_EQ(JsonValue::array_of(xs).dump(), "[1,2.5]");
+  const std::vector<std::uint64_t> ns = {3, 4};
+  EXPECT_EQ(JsonValue::array_of(ns).dump(), "[3,4]");
+  EXPECT_EQ(JsonValue::array().dump(), "[]");
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::object();
+  obj["a"] = 1;
+  obj["b"].push_back(2);
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonTest, WriteFileRoundTrips) {
+  JsonValue obj = JsonValue::object();
+  obj["name"] = "svk";
+  obj["ok"] = true;
+  const std::string path = testing::TempDir() + "svk_json_test.json";
+  ASSERT_TRUE(obj.write_file(path, -1));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\"name\":\"svk\",\"ok\":true}\n");
+  std::remove(path.c_str());
+}
+
+TEST(JsonTest, WriteFileReportsFailure) {
+  EXPECT_FALSE(JsonValue::object().write_file("/nonexistent-dir/x.json"));
+}
+
+// ---------------------------------------------------------------------------
+// RunRecord
+// ---------------------------------------------------------------------------
+
+TEST(RunRecordTest, ToJsonCarriesEveryField) {
+  RunRecord record;
+  record.label = "stateful";
+  record.offered_cps = 900.0;
+  record.achieved_cps = 850.0;
+  record.attempted_cps = 880.0;
+  record.goodput_ratio = 850.0 / 900.0;
+  record.setup_ms_mean = 12.0;
+  record.setup_ms_p50 = 10.0;
+  record.setup_ms_p90 = 20.0;
+  record.setup_ms_p99 = 40.0;
+  record.retransmissions = 17;
+  record.calls_failed = 3;
+  record.busy_500 = 2;
+  record.node_utilization = {0.9, 0.4};
+  record.node_rejected = {2, 0};
+  record.wall_seconds = 0.25;
+
+  const std::string text = record.to_json().dump();
+  for (const char* fragment :
+       {"\"label\":\"stateful\"", "\"offered_cps\":900",
+        "\"achieved_cps\":850", "\"attempted_cps\":880",
+        "\"setup_ms\":{\"mean\":12,\"p50\":10,\"p90\":20,\"p99\":40}",
+        "\"retransmissions\":17", "\"calls_failed\":3", "\"busy_500\":2",
+        "\"node_utilization\":[0.9,0.4]", "\"node_rejected\":[2,0]",
+        "\"wall_seconds\":0.25"}) {
+    EXPECT_NE(text.find(fragment), std::string::npos)
+        << fragment << " missing from " << text;
+  }
+}
+
+TEST(RunRecordTest, EmptyLabelIsOmitted) {
+  const std::string text = RunRecord{}.to_json().dump();
+  EXPECT_EQ(text.find("\"label\""), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  pool.wait_idle();  // no work yet: must not deadlock
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsRemainingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // no wait_idle: the destructor must finish the queue before joining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.size(), ThreadPool::default_threads());
+}
+
+TEST(ParallelForIndexTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for_index(4, kCount,
+                     [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForIndexTest, SingleThreadRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_index(1, 5, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndexTest, ZeroCountIsNoop) {
+  parallel_for_index(4, 0, [](std::size_t) { FAIL() << "must not run"; });
 }
 
 }  // namespace

@@ -48,7 +48,7 @@ WindowOutcome run_window(Controller& controller, int n_new, int n_fasf,
   controller.on_tick(SimTime::seconds(t0));  // open window
   WindowOutcome out;
   for (int i = 0; i < n_fasf; ++i) {
-    controller.decide(ctx(0, delegable, true));
+    (void)controller.decide(ctx(0, delegable, true));
     ++out.stateless;
   }
   for (int i = 0; i < n_new; ++i) {
@@ -148,8 +148,8 @@ TEST(ControllerTest, TwoDelegablePathsShareBudget) {
       {PathInfo{true, Address{1}}, PathInfo{true, Address{2}}});
   controller.on_tick(SimTime::seconds(0.0));
   // 90 requests on path 0, 60 on path 1: total 150 > 100.
-  for (int i = 0; i < 90; ++i) controller.decide(ctx(0, true, false));
-  for (int i = 0; i < 60; ++i) controller.decide(ctx(1, true, false));
+  for (int i = 0; i < 90; ++i) (void)controller.decide(ctx(0, true, false));
+  for (int i = 0; i < 60; ++i) (void)controller.decide(ctx(1, true, false));
   controller.on_tick(SimTime::seconds(1.0));
   // c = 200, k = 2: share_q = 100 - beta*rate_q/(alpha-beta).
   EXPECT_NEAR(controller.paths()[0].myshare, 100.0 - 90.0, 1e-6);
@@ -290,7 +290,7 @@ TEST(ControllerTest, MixedExitAndDelegablePaths) {
     EXPECT_EQ(controller.decide(ctx(0, false, false)),
               StateDecision::kStateful);
   }
-  for (int i = 0; i < 110; ++i) controller.decide(ctx(1, true, false));
+  for (int i = 0; i < 110; ++i) (void)controller.decide(ctx(1, true, false));
   controller.on_tick(SimTime::seconds(1.0));
   // c = 200 - alpha*40/(alpha-beta) = 200 - 0.4*200 = 120.
   // share(path1) = 120 - beta*110/(alpha-beta) = 120 - 110 = 10.
@@ -410,8 +410,8 @@ TEST(ControllerTest, NegativeShareClampsToZero) {
       {PathInfo{false, Address{}}, PathInfo{true, Address{2}}});
   controller.on_tick(SimTime::seconds(0.0));
   // Exit flow alone exceeds the budget: delegable share must clamp to 0.
-  for (int i = 0; i < 80; ++i) controller.decide(ctx(0, false, false));
-  for (int i = 0; i < 80; ++i) controller.decide(ctx(1, true, false));
+  for (int i = 0; i < 80; ++i) (void)controller.decide(ctx(0, false, false));
+  for (int i = 0; i < 80; ++i) (void)controller.decide(ctx(1, true, false));
   controller.on_tick(SimTime::seconds(1.0));
   EXPECT_EQ(controller.paths()[1].myshare, 0.0);
 }

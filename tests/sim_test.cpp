@@ -104,6 +104,98 @@ TEST(SimulatorTest, ExecutedCountCountsEvents) {
   EXPECT_EQ(sim.executed_count(), 4u);
 }
 
+TEST(SimulatorTest, PendingCountTracksScheduleCancelExecute) {
+  Simulator sim;
+  const EventId a = sim.schedule(SimTime::millis(1), [] {});
+  sim.schedule(SimTime::millis(2), [] {});
+  sim.schedule(SimTime::millis(3), [] {});
+  EXPECT_EQ(sim.pending_count(), 3u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+// Regression: cancelling an id whose event has already run used to insert a
+// tombstone that no queue pop ever reclaimed — pending_count() (then
+// computed as queue size minus tombstone count) underflowed to ~2^64 and
+// the tombstone set grew without bound.
+TEST(SimulatorTest, CancelAfterExecutionKeepsPendingCountSane) {
+  Simulator sim;
+  const EventId id = sim.schedule(SimTime::millis(1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  sim.cancel(id);  // stale: the event already ran
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_LT(sim.pending_count(), 1000u);  // explicit underflow guard
+
+  // The loop keeps working and later events are unaffected.
+  bool ran = false;
+  sim.schedule(SimTime::millis(1), [&] { ran = true; });
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, RepeatedStaleCancelsDoNotAccumulate) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule(SimTime::millis(i), [] {}));
+  }
+  sim.run();
+  for (const EventId id : ids) sim.cancel(id);
+  for (const EventId id : ids) sim.cancel(id);  // and again, for good measure
+  EXPECT_EQ(sim.pending_count(), 0u);
+  sim.schedule(SimTime::millis(200), [] {});
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(SimulatorTest, DoubleCancelCountsOnce) {
+  Simulator sim;
+  const EventId a = sim.schedule(SimTime::millis(1), [] {});
+  sim.schedule(SimTime::millis(2), [] {});
+  sim.cancel(a);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed_count(), 1u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, SelfCancelFromInsideActionIsNoop) {
+  Simulator sim;
+  EventId self = 0;
+  self = sim.schedule(SimTime::millis(1), [&] { sim.cancel(self); });
+  sim.run();
+  EXPECT_EQ(sim.executed_count(), 1u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+// Regression: run_until used to duplicate step()'s cancellation filtering
+// (peek, erase tombstone, pop — then step() re-popped and re-checked);
+// cancelling the queue top from a same-instant event exercised both paths.
+// Filtering now happens in exactly one place, so the accounting stays
+// consistent.
+TEST(SimulatorTest, CancelOfQueueTopDuringRunUntilStaysConsistent) {
+  Simulator sim;
+  EventId b = 0;
+  int runs = 0;
+  sim.schedule(SimTime::millis(1), [&] {
+    ++runs;
+    sim.cancel(b);  // b is the next queue top at the same instant
+  });
+  b = sim.schedule(SimTime::millis(1), [&] { ++runs; });
+  sim.schedule(SimTime::millis(2), [&] { ++runs; });
+  EXPECT_EQ(sim.pending_count(), 3u);
+  sim.run_until(SimTime::millis(5));
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(sim.executed_count(), 2u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.now(), SimTime::millis(5));
+}
+
 // ---------------------------------------------------------------------------
 // PeriodicTimer
 // ---------------------------------------------------------------------------
@@ -148,6 +240,33 @@ TEST(PeriodicTimerTest, StartIsIdempotent) {
   timer.start();
   sim.run_until(SimTime::seconds(3.5));
   EXPECT_EQ(ticks, 3);
+}
+
+// Regression reproducer for the stale-cancel bug: stop() from inside the
+// timer's own on_tick cancels the id of the event that is currently
+// executing (it was popped but not yet re-armed). That cancel must be a
+// no-op, not a permanent tombstone that corrupts pending accounting.
+TEST(PeriodicTimerTest, StopInsideOwnTickKeepsSimulatorConsistent) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer* self = nullptr;
+  PeriodicTimer timer(sim, SimTime::seconds(1.0), [&] {
+    ++ticks;
+    self->stop();
+  });
+  self = &timer;
+  timer.start();
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(ticks, 1);
+  EXPECT_FALSE(timer.running());
+  EXPECT_EQ(sim.pending_count(), 0u);  // pre-fix: underflowed to ~2^64
+
+  // The timer is reusable after the in-tick stop (and stops itself again).
+  timer.start();
+  sim.run_until(SimTime::seconds(12.5));
+  EXPECT_EQ(ticks, 2);  // re-armed at t=10 -> one tick at t=11, stops again
+  EXPECT_FALSE(timer.running());
+  EXPECT_EQ(sim.pending_count(), 0u);
 }
 
 // ---------------------------------------------------------------------------

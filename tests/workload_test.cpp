@@ -109,7 +109,7 @@ TEST(CallFlowTest, HoldTimeDelaysBye) {
   config.host = "proxy0.example.net";
   bed.add_proxy(std::move(config), std::move(routes),
                 std::make_unique<proxy::AlwaysStateful>());
-  bed.add_uas(UasConfig{"uas0.callee.example.net", Address{}, {}});
+  bed.add_uas(UasConfig{"uas0.callee.example.net", Address{}, {}, {}});
   bed.register_users("callee.example.net", 2, {"uas0.callee.example.net"});
 
   UacConfig uac_config;
@@ -218,6 +218,134 @@ TEST(RunnerTest, EarlyStopDoesNotUnderestimate) {
   const SweepResult stopped =
       sweep(factory, 60.0, 160.0, 20.0, MeasureOptions{}, true);
   EXPECT_NEAR(stopped.max_throughput_cps, full.max_throughput_cps, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel runner
+// ---------------------------------------------------------------------------
+
+/// Every simulation-derived field must match bit-for-bit; only the host
+/// wall-clock may differ between serial and parallel runs.
+void expect_points_identical(const PointResult& a, const PointResult& b) {
+  EXPECT_EQ(a.offered_cps, b.offered_cps);
+  EXPECT_EQ(a.throughput_cps, b.throughput_cps);
+  EXPECT_EQ(a.attempted_cps, b.attempted_cps);
+  EXPECT_EQ(a.goodput_ratio, b.goodput_ratio);
+  EXPECT_EQ(a.setup_ms_mean, b.setup_ms_mean);
+  EXPECT_EQ(a.setup_ms_p50, b.setup_ms_p50);
+  EXPECT_EQ(a.setup_ms_p90, b.setup_ms_p90);
+  EXPECT_EQ(a.setup_ms_p99, b.setup_ms_p99);
+  EXPECT_EQ(a.calls_failed, b.calls_failed);
+  EXPECT_EQ(a.busy_500, b.busy_500);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.trying_received, b.trying_received);
+  EXPECT_EQ(a.calls_established_uac, b.calls_established_uac);
+  EXPECT_EQ(a.proxy_utilization, b.proxy_utilization);
+  EXPECT_EQ(a.proxy_rejected, b.proxy_rejected);
+  EXPECT_EQ(a.proxy_stateful, b.proxy_stateful);
+  EXPECT_EQ(a.proxy_stateless, b.proxy_stateless);
+}
+
+TEST(ParallelRunnerTest, SweepMatchesSerialBitForBit) {
+  const BedFactory factory =
+      single_proxy(scaled_options(PolicyKind::kStaticAllStateful));
+  MeasureOptions options;
+  options.warmup = SimTime::seconds(1.0);
+  options.measure = SimTime::seconds(2.0);
+
+  const SweepResult serial = sweep(factory, 40.0, 130.0, 15.0, options);
+  const SweepResult parallel =
+      run_sweep_parallel(factory, 40.0, 130.0, 15.0, options, 4);
+
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_points_identical(serial.points[i], parallel.points[i]);
+  }
+  EXPECT_EQ(parallel.max_throughput_cps, serial.max_throughput_cps);
+  EXPECT_EQ(parallel.offered_at_max, serial.offered_at_max);
+}
+
+TEST(ParallelRunnerTest, SingleThreadSweepAlsoMatches) {
+  const BedFactory factory =
+      single_proxy(scaled_options(PolicyKind::kStaticAllStateless));
+  MeasureOptions options;
+  options.warmup = SimTime::seconds(1.0);
+  options.measure = SimTime::seconds(2.0);
+  const SweepResult serial = sweep(factory, 100.0, 140.0, 10.0, options);
+  const SweepResult parallel =
+      run_sweep_parallel(factory, 100.0, 140.0, 10.0, options, 1);
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_points_identical(serial.points[i], parallel.points[i]);
+  }
+}
+
+TEST(ParallelRunnerTest, FindSaturationParallelNearSerial) {
+  const BedFactory factory =
+      single_proxy(scaled_options(PolicyKind::kStaticAllStateful));
+  MeasureOptions options;
+  options.warmup = SimTime::seconds(1.0);
+  options.measure = SimTime::seconds(2.0);
+  const double serial = find_saturation(factory, 60.0, 160.0, 10.0, options);
+  const double parallel =
+      find_saturation_parallel(factory, 60.0, 160.0, 10.0, options, 4);
+  // Bisection probes a subset of the serial grid; both must land at the
+  // same saturation plateau (~103.6 cps at this scale).
+  EXPECT_NEAR(parallel, serial, 6.0);
+  EXPECT_NEAR(parallel, 103.6, 8.0);
+}
+
+TEST(ParallelRunnerTest, RunPointsParallelKeepsJobOrder) {
+  const BedFactory factory =
+      single_proxy(scaled_options(PolicyKind::kStaticAllStateless));
+  MeasureOptions options;
+  options.warmup = SimTime::seconds(1.0);
+  options.measure = SimTime::seconds(2.0);
+  const std::vector<double> loads = {30.0, 60.0, 90.0};
+  std::vector<std::function<PointResult()>> jobs;
+  for (const double load : loads) {
+    jobs.emplace_back(
+        [&factory, &options, load] {
+          return measure_point(factory, load, options);
+        });
+  }
+  const std::vector<PointResult> results = run_points_parallel(jobs, 3);
+  ASSERT_EQ(results.size(), loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(results[i].offered_cps, loads[i]);
+    expect_points_identical(results[i],
+                            measure_point(factory, loads[i], options));
+  }
+}
+
+TEST(RunRecordTest, ConversionScalesRatesOnly) {
+  PointResult point;
+  point.offered_cps = 100.0;
+  point.throughput_cps = 95.0;
+  point.attempted_cps = 98.0;
+  point.goodput_ratio = 0.95;
+  point.setup_ms_mean = 12.5;
+  point.retransmissions = 4;
+  point.busy_500 = 1;
+  point.proxy_utilization = {0.8};
+  point.proxy_rejected = {1};
+  point.wall_seconds = 0.5;
+
+  const RunRecord record = to_run_record(point, 10.0, "series-a");
+  EXPECT_EQ(record.label, "series-a");
+  EXPECT_EQ(record.offered_cps, 1000.0);
+  EXPECT_EQ(record.achieved_cps, 950.0);
+  EXPECT_EQ(record.attempted_cps, 980.0);
+  EXPECT_EQ(record.goodput_ratio, 0.95);    // ratio: scale-free
+  EXPECT_EQ(record.setup_ms_mean, 12.5);    // time: scale-free
+  EXPECT_EQ(record.retransmissions, 4u);
+  EXPECT_EQ(record.busy_500, 1u);
+  EXPECT_EQ(record.node_utilization, std::vector<double>{0.8});
+  EXPECT_EQ(record.node_rejected, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(record.wall_seconds, 0.5);
 }
 
 // ---------------------------------------------------------------------------
