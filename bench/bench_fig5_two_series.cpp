@@ -86,6 +86,11 @@ void print_summary() {
 
 void write_json() {
   BenchReport report("fig5_two_series");
+  // With --trace= / --metrics=: one observed SERvartuka run near the
+  // paper's saturation point, exporting trace + controller audit series.
+  run_traced_smoke(report,
+                   workload::series_chain(2, scenario(PolicyKind::kServartuka)),
+                   9500.0);
   report.add_series(g_static);
   report.add_series(g_best_static);
   report.add_series(g_dynamic);

@@ -89,6 +89,12 @@ void print_summary() {
 
 void write_json() {
   BenchReport report("fig7_changing_loads");
+  // With --trace= / --metrics=: one observed SERvartuka run at the paper's
+  // 80/20 split, exporting the Chrome trace and the controller audit series.
+  run_traced_smoke(report,
+                   workload::two_series_with_internal(
+                       0.8, scenario(PolicyKind::kServartuka)),
+                   10000.0);
   JsonValue& points = report.root()["fractions"];
   points = JsonValue::array();
   for (const FractionPoint& p : g_points) {

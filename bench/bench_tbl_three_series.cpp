@@ -55,6 +55,11 @@ void print_summary() {
 
 void write_json() {
   BenchReport report("tbl_three_series");
+  // With --trace= / --metrics=: one observed SERvartuka run near the
+  // paper's saturation point, exporting trace + controller audit series.
+  run_traced_smoke(report,
+                   workload::series_chain(3, scenario(PolicyKind::kServartuka)),
+                   10000.0);
   report.add_metric("static_saturation_cps", g_static);
   report.add_metric("servartuka_saturation_cps", g_dynamic);
   report.add_metric("paper_static_saturation_cps", 8780.0);

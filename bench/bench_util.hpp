@@ -35,25 +35,49 @@ inline std::size_t g_threads = 0;
   return g_threads != 0 ? g_threads : ThreadPool::default_threads();
 }
 
+/// Chrome trace output path (empty = tracing off). Set by --trace=<file>
+/// or the SVK_TRACE environment variable.
+inline std::string g_trace_path;
+
+/// Metrics dump path (empty = off). Set by --metrics=<file> or SVK_METRICS.
+inline std::string g_metrics_path;
+
 /// Shared bench entry point: parses/strips the harness's own flags, then
 /// hands the rest to google-benchmark.
 inline void initialize(int* argc, char** argv) {
   if (const char* env = std::getenv("SVK_BENCH_THREADS")) {
     g_threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
   }
+  if (const char* env = std::getenv("SVK_TRACE")) g_trace_path = env;
+  if (const char* env = std::getenv("SVK_METRICS")) g_metrics_path = env;
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg = argv[i];
     constexpr std::string_view kThreadsFlag = "--threads=";
+    constexpr std::string_view kTraceFlag = "--trace=";
+    constexpr std::string_view kMetricsFlag = "--metrics=";
     if (arg.rfind(kThreadsFlag, 0) == 0) {
       g_threads = static_cast<std::size_t>(
           std::strtoul(arg.substr(kThreadsFlag.size()).data(), nullptr, 10));
+      continue;
+    }
+    if (arg.rfind(kTraceFlag, 0) == 0) {
+      g_trace_path = std::string(arg.substr(kTraceFlag.size()));
+      continue;
+    }
+    if (arg.rfind(kMetricsFlag, 0) == 0) {
+      g_metrics_path = std::string(arg.substr(kMetricsFlag.size()));
       continue;
     }
     argv[kept++] = argv[i];
   }
   *argc = kept;
   benchmark::Initialize(argc, argv);
+}
+
+/// True when the user asked for a trace or metrics dump.
+[[nodiscard]] inline bool observability_requested() {
+  return !g_trace_path.empty() || !g_metrics_path.empty();
 }
 
 /// Simulation scale: capacities (and hence rates) at 1/10 of calibration.
@@ -282,5 +306,48 @@ class BenchReport {
   std::string name_;
   JsonValue root_;
 };
+
+/// When --trace=/--metrics= (or SVK_TRACE/SVK_METRICS) was given: runs one
+/// extra observed load point at `offered_full` (full-scale cps), writes the
+/// Chrome trace / metrics dump, and embeds the point — including its
+/// per-window controller audit series — under "traced_smoke" in the report.
+/// No-op when neither output was requested, so the regular (untraced) bench
+/// results are never affected.
+inline void run_traced_smoke(BenchReport& report,
+                             const workload::BedFactory& factory,
+                             double offered_full) {
+  if (!observability_requested()) return;
+  workload::MeasureOptions options = measure_options();
+  options.observe = true;
+  workload::ObservedPoint observed =
+      workload::measure_point_retained(factory, scaled(offered_full), options);
+  obs::Observability* obs = observed.bed->observability();
+
+  JsonValue smoke = JsonValue::object();
+  smoke["offered_cps"] = offered_full;
+  smoke["point"] = full_record(observed.point, "traced_smoke").to_json();
+  if (obs != nullptr && obs->tracer() != nullptr && !g_trace_path.empty()) {
+    if (obs->tracer()->write_chrome_trace(g_trace_path)) {
+      std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                  g_trace_path.c_str(), obs->tracer()->events().size(),
+                  static_cast<unsigned long long>(obs->tracer()->dropped()));
+      smoke["trace_file"] = g_trace_path;
+    } else {
+      std::fprintf(stderr, "failed to write trace %s\n",
+                   g_trace_path.c_str());
+    }
+  }
+  if (obs != nullptr && obs->metrics() != nullptr &&
+      !g_metrics_path.empty()) {
+    if (obs->metrics()->to_json().write_file(g_metrics_path)) {
+      std::printf("metrics written to %s\n", g_metrics_path.c_str());
+      smoke["metrics_file"] = g_metrics_path;
+    } else {
+      std::fprintf(stderr, "failed to write metrics %s\n",
+                   g_metrics_path.c_str());
+    }
+  }
+  report.root()["traced_smoke"] = std::move(smoke);
+}
 
 }  // namespace svk::bench

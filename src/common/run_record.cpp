@@ -20,6 +20,9 @@ JsonValue RunRecord::to_json() const {
   v["node_utilization"] = JsonValue::array_of(node_utilization);
   v["node_rejected"] = JsonValue::array_of(node_rejected);
   v["wall_seconds"] = wall_seconds;
+  if (controller_windows.is_array()) {
+    v["controller_windows"] = controller_windows;
+  }
   return v;
 }
 

@@ -34,6 +34,11 @@ struct RunRecord {
 
   double wall_seconds = 0.0;  // real time spent measuring this point
 
+  /// Per-window controller audit series (schema in EXPERIMENTS.md),
+  /// pre-serialized by the layer that owns the audit log. Null (and then
+  /// omitted from to_json) unless the run had observability enabled.
+  JsonValue controller_windows;
+
   [[nodiscard]] JsonValue to_json() const;
 };
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/audit.hpp"
+#include "obs/trace.hpp"
+
 namespace svk::core {
 
 ControllerConfig ControllerConfig::from_call_rates(double t_sf_cps,
@@ -28,18 +31,30 @@ void Controller::register_paths(const std::vector<proxy::PathInfo>& paths) {
   for (const auto& info : paths) {
     PathState state;
     state.delegable = info.delegable;
+    state.seen = true;
     paths_.push_back(state);
   }
 }
 
-proxy::StateDecision Controller::decide(const proxy::RequestContext& ctx) {
+PathState& Controller::path_at(std::size_t index, bool delegable) {
   // Paths can appear after registration (route-set forwarding to a neighbor
-  // not in the static table); grow defensively.
-  if (ctx.path_index >= paths_.size()) {
-    paths_.resize(ctx.path_index + 1);
-    paths_[ctx.path_index].delegable = ctx.delegable;
+  // not in the static table); grow defensively. Entries created as filler
+  // for indices we have not actually observed stay `seen = false` and adopt
+  // their true delegability on first contact — resize() alone used to
+  // default *intermediate* entries to non-delegable forever.
+  if (index >= paths_.size()) {
+    paths_.resize(index + 1);
   }
-  PathState& path = paths_[ctx.path_index];
+  PathState& path = paths_[index];
+  if (!path.seen) {
+    path.seen = true;
+    path.delegable = delegable;
+  }
+  return path;
+}
+
+proxy::StateDecision Controller::decide(const proxy::RequestContext& ctx) {
+  PathState& path = path_at(ctx.path_index, ctx.delegable);
   ++path.msg_count;
   ++tot_msg_;
 
@@ -80,13 +95,17 @@ proxy::StateDecision Controller::decide(const proxy::RequestContext& ctx) {
 
 void Controller::on_overload_signal(std::size_t path_index, bool on,
                                     double c_asf_rate) {
-  if (path_index >= paths_.size()) {
-    paths_.resize(path_index + 1);
-    paths_[path_index].delegable = true;
-  }
-  PathState& path = paths_[path_index];
+  // Overload signals come from downstream proxies, so the signalling path
+  // is delegable by definition.
+  PathState& path = path_at(path_index, /*delegable=*/true);
   path.overloaded = on;
   path.frozen_c_asf = on ? c_asf_rate : 0.0;
+  if (obs != nullptr && obs->tracer != nullptr) {
+    obs->tracer->instant(on ? "overload_rx_on" : "overload_rx_off",
+                         "overload", last_tick_, obs_tid, "path",
+                         static_cast<double>(path_index), "c_asf",
+                         c_asf_rate);
+  }
 }
 
 void Controller::on_tick(SimTime now) {
@@ -101,7 +120,6 @@ void Controller::on_tick(SimTime now) {
   last_tick_ = now;
   if (elapsed <= 0.0) return;
 
-  const double window = config_.period.to_seconds();
   const double total_rate = static_cast<double>(tot_msg_) / elapsed;
   last_total_rate_ = total_rate;
 
@@ -120,10 +138,21 @@ void Controller::on_tick(SimTime now) {
       path.sf_fraction = 1.0;
       path.smoothed_share = -1.0;
     }
+    // The closed-loop correction must relax while the node is cool: an
+    // overload episode backs it off multiplicatively, and below T_SF the
+    // case-2 feedback branch never runs, so without this a node that cooled
+    // down re-entered case 2 with the stale multiplier and under-took
+    // state indefinitely. Below T_SF the CPU is under its target by
+    // construction, so halve the gap to 1.0 each quiet window.
+    correction_ += 0.5 * (1.0 - correction_);
+    if (correction_ > 0.995) correction_ = 1.0;
+    bool overload_changed = false;
     if (self_overloaded_) {
       self_overloaded_ = false;
+      overload_changed = true;
       if (send_overload) send_overload(false, 0.0);
     }
+    emit_audit(now, elapsed, /*below_t_sf=*/true, overload_changed);
     reset_window_counters();
     return;
   }
@@ -145,6 +174,11 @@ void Controller::on_tick(SimTime now) {
   // Fixed commitments first: exit paths must absorb all their
   // not-yet-stateful traffic; overloaded paths force us to absorb whatever
   // exceeds the frozen downstream allowance c_ASF.
+  //
+  // Window counts (`myshare`) are sized with the *measured* elapsed time,
+  // not the configured period: the per-path rates are measured over
+  // `elapsed`, and mixing time bases mis-sized the window-count guard in
+  // decide() whenever a tick arrived late or early.
   double required_rate = 0.0;  // stateful work we cannot avoid
   double c_rate = u * inv_ab;  // Algorithm 2's constant `c` (per second)
   std::size_t not_ovld_count = 0;
@@ -163,7 +197,7 @@ void Controller::on_tick(SimTime now) {
       required_rate += forced;
       // Handle exactly the overflow statefully; the rest rides the frozen
       // downstream allowance.
-      path.myshare = forced * window;
+      path.myshare = forced * elapsed;
       path.smoothed_share = -1.0;
       const double nasf_rate = std::max(rate - fasf_rate, 1e-9);
       path.sf_fraction = std::min(1.0, forced / nasf_rate);
@@ -186,7 +220,7 @@ void Controller::on_tick(SimTime now) {
         path.smoothed_share = (1.0 - g) * path.smoothed_share + g * raw_share;
       }
       const double share_rate = path.smoothed_share * correction_;
-      path.myshare = share_rate * window;
+      path.myshare = share_rate * elapsed;
       const double fasf_rate =
           static_cast<double>(path.fasf_count) / elapsed;
       const double nasf_rate = std::max(rate - fasf_rate, 1e-9);
@@ -199,8 +233,10 @@ void Controller::on_tick(SimTime now) {
   const bool overloaded_now =
       not_ovld_count == 0 &&
       required_rate > budget_rate * config_.overload_headroom;
+  bool overload_changed = false;
   if (overloaded_now && !self_overloaded_) {
     self_overloaded_ = true;
+    overload_changed = true;
     // Advertise the stateful rate the subtree rooted here keeps absorbing:
     // our own feasible budget plus everything frozen further downstream.
     double c_asf = budget_rate;
@@ -211,10 +247,55 @@ void Controller::on_tick(SimTime now) {
   } else if (self_overloaded_ &&
              required_rate < budget_rate * config_.recover_factor) {
     self_overloaded_ = false;
+    overload_changed = true;
     if (send_overload) send_overload(false, 0.0);
   }
 
+  emit_audit(now, elapsed, /*below_t_sf=*/false, overload_changed);
   reset_window_counters();
+}
+
+void Controller::emit_audit(SimTime now, double elapsed, bool below_t_sf,
+                            bool overload_changed) {
+  if (obs == nullptr) return;
+  if (obs->tracer != nullptr) {
+    obs->tracer->instant("window_tick", "controller", now, obs_tid,
+                         "total_rate", last_total_rate_, "budget_rate",
+                         last_budget_rate_);
+    if (overload_changed) {
+      obs->tracer->instant(self_overloaded_ ? "overload_on" : "overload_off",
+                           "overload", now, obs_tid, "required_vs_budget",
+                           last_budget_rate_);
+    }
+  }
+  if (obs->audit == nullptr) return;
+  obs::AuditWindow window;
+  window.node_tid = obs_tid;
+  window.at = now;
+  window.elapsed = elapsed;
+  window.total_rate = last_total_rate_;
+  window.budget_rate = last_budget_rate_;
+  window.correction = correction_;
+  window.below_t_sf = below_t_sf;
+  window.self_overloaded = self_overloaded_;
+  window.overload_changed = overload_changed;
+  window.paths.reserve(paths_.size());
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    const PathState& path = paths_[i];
+    obs::AuditPathRow row;
+    row.path_index = i;
+    row.delegable = path.delegable;
+    row.overloaded = path.overloaded;
+    row.msg_count = path.msg_count;
+    row.fasf_count = path.fasf_count;
+    row.sf_count = path.sf_count;
+    row.myshare = path.myshare;
+    row.sf_fraction = path.sf_fraction;
+    row.smoothed_share = path.smoothed_share;
+    row.frozen_c_asf = path.frozen_c_asf;
+    window.paths.push_back(row);
+  }
+  obs->audit->append(std::move(window));
 }
 
 void Controller::reset_window_counters() {

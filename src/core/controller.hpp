@@ -74,6 +74,12 @@ struct ControllerConfig {
 /// Per-downstream-path controller state (counters are per window).
 struct PathState {
   bool delegable = false;
+  /// False for entries created as resize() filler when a path index beyond
+  /// the registered table appears mid-run: their delegability is unknown
+  /// until the first request (or overload signal) arrives for *that* index.
+  /// Without this flag, a delegable path first seen at a lower index than
+  /// an earlier stray index was permanently misclassified as an exit path.
+  bool seen = false;
   // --- Algorithm 1/2 window counters -------------------------------------
   std::uint64_t msg_count = 0;   // transaction-creating requests routed here
   std::uint64_t fasf_count = 0;  // arrived already stateful
@@ -122,6 +128,12 @@ class Controller final : public proxy::StatePolicy {
 
  private:
   void reset_window_counters();
+  /// Grows paths_ to cover `index` (new entries unseen) and returns the
+  /// entry, marking it seen with the given delegability on first sight.
+  PathState& path_at(std::size_t index, bool delegable);
+  /// Appends this window's record to the attached audit log / tracer.
+  void emit_audit(SimTime now, double elapsed, bool below_t_sf,
+                  bool overload_changed);
 
   ControllerConfig config_;
   double alpha_;

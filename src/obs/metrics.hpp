@@ -1,0 +1,98 @@
+// MetricRegistry — named counters, gauges, and sim-time-windowed
+// time-series samplers.
+//
+// The registry is a passive recording surface: nothing in the simulation
+// reads metrics back, so attaching or detaching a registry can never change
+// simulated results. Instruments are created on first use and live for the
+// registry's lifetime (entries are held in deques, so references handed out
+// stay valid as more instruments are registered). Time series are
+// fixed-capacity ring buffers that keep the most recent samples and count
+// what they dropped — memory use is bounded no matter how long a run is.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/sim_time.hpp"
+
+namespace svk::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+/// One (sim time, value) observation.
+struct Sample {
+  SimTime at;
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring buffer of samples: keeps the newest `capacity`
+/// observations, counts the rest as dropped.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity);
+
+  void sample(SimTime at, double value);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained samples, oldest first.
+  [[nodiscard]] std::vector<Sample> samples() const;
+
+ private:
+  std::vector<Sample> buffer_;
+  std::size_t head_{0};  // next write position
+  std::size_t size_{0};
+  std::uint64_t dropped_{0};
+};
+
+/// Name-indexed instrument registry with stable creation order.
+class MetricRegistry {
+ public:
+  /// Default ring capacity for series created without an explicit one.
+  static constexpr std::size_t kDefaultSeriesCapacity = 4096;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimeSeries& series(std::string_view name,
+                     std::size_t capacity = kDefaultSeriesCapacity);
+
+  /// Serializes every instrument:
+  /// {"counters": {...}, "gauges": {...}, "series": {name: {...}}}.
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  // Deques keep references stable; the maps index into them by name.
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, TimeSeries>> series_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> series_index_;
+};
+
+}  // namespace svk::obs

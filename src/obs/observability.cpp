@@ -1,0 +1,23 @@
+#include "obs/observability.hpp"
+
+namespace svk::obs {
+
+Observability::Observability(Options options) {
+  if (options.metrics) metrics_ = std::make_unique<MetricRegistry>();
+  if (options.trace) {
+    tracer_ = std::make_unique<Tracer>(options.trace_capacity);
+  }
+  if (options.audit) {
+    audit_ = std::make_unique<ControllerAuditLog>(options.audit_capacity);
+  }
+}
+
+Sinks Observability::sinks() {
+  Sinks s;
+  s.metrics = metrics_.get();
+  s.tracer = tracer_.get();
+  s.audit = audit_.get();
+  return s;
+}
+
+}  // namespace svk::obs

@@ -1,0 +1,45 @@
+// Observability — the owning bundle behind a Sinks handle.
+//
+// One Observability instance per observed run: it owns the metric
+// registry, the tracer, and the controller audit log, and hands out a
+// Sinks value pointing at whichever backends are enabled. The TestBed
+// installs the sinks on its simulator; everything downstream records
+// through them without knowing who owns what.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+
+namespace svk::obs {
+
+struct Options {
+  bool metrics = true;
+  bool trace = true;
+  bool audit = true;
+  std::size_t trace_capacity = Tracer::kDefaultCapacity;
+  std::size_t audit_capacity = ControllerAuditLog::kDefaultCapacity;
+};
+
+class Observability {
+ public:
+  explicit Observability(Options options = {});
+
+  /// Handles to the enabled backends (null for disabled ones).
+  [[nodiscard]] Sinks sinks();
+
+  [[nodiscard]] MetricRegistry* metrics() { return metrics_.get(); }
+  [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] ControllerAuditLog* audit() { return audit_.get(); }
+
+ private:
+  std::unique_ptr<MetricRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<ControllerAuditLog> audit_;
+};
+
+}  // namespace svk::obs

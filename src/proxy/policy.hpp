@@ -7,12 +7,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "obs/sinks.hpp"
 #include "profile/cost_model.hpp"
 #include "proxy/routing.hpp"
 
@@ -78,6 +80,13 @@ class StatePolicy {
   /// the loop on these to correct model drift.
   double observed_utilization = -1.0;
   double observed_backlog_fraction = 0.0;
+
+  /// Set by the owning proxy: the simulator's observability sinks (stable
+  /// address, pointers inside may be null) and this node's trace id.
+  /// Policies append audit windows / trace events through these; both are
+  /// purely passive and never alter decisions.
+  const obs::Sinks* obs = nullptr;
+  std::uint32_t obs_tid = 0;
 };
 
 /// Static policy: handle every request statefully (OpenSER configured

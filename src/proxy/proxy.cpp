@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sip/parser.hpp"
 
 namespace svk::proxy {
@@ -46,6 +48,12 @@ ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
   policy_->send_overload = [this](bool on, double rate) {
     send_overload_signal(on, rate);
   };
+  // Observability: the simulator's Sinks struct has a stable address, so
+  // wiring it here also covers enablement after construction.
+  policy_->obs = &sim_.obs();
+  policy_->obs_tid = config_.address.value();
+  cpu_.set_trace_tid(config_.address.value());
+  txns_.set_trace_tid(config_.address.value());
   if (policy_->tick_period() > SimTime{}) {
     tick_probe_ = std::make_unique<sim::UtilizationProbe>(cpu_, sim_);
     policy_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -55,6 +63,15 @@ ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
           const double bound = config_.max_queue_delay.to_seconds();
           policy_->observed_backlog_fraction =
               bound > 0.0 ? cpu_.backlog().to_seconds() / bound : 0.0;
+          const obs::Sinks& obs = sim_.obs();
+          if (obs.tracer != nullptr) {
+            obs.tracer->counter("utilization", sim_.now(),
+                                config_.address.value(), "util",
+                                policy_->observed_utilization);
+            obs.tracer->counter("backlog", sim_.now(),
+                                config_.address.value(), "fraction",
+                                policy_->observed_backlog_fraction);
+          }
           policy_->on_tick(sim_.now());
         });
     policy_timer_->start();
@@ -82,6 +99,14 @@ bool ProxyServer::is_control(const sip::Message& msg) const {
 }
 
 void ProxyServer::on_datagram(Address from, const sip::MessagePtr& msg) {
+  if (const obs::Sinks& obs = sim_.obs(); obs.any()) {
+    if (obs.metrics != nullptr) obs.metrics->counter("proxy.rx").inc();
+    if (obs.tracer != nullptr) {
+      obs.tracer->instant("rx", "msg", sim_.now(), config_.address.value(),
+                          "from", static_cast<double>(from.value()),
+                          "request", msg->is_request() ? 1.0 : 0.0);
+    }
+  }
   if (msg->is_request()) {
     if (is_control(*msg)) {
       // Control plane: cheap, never rejected (a saturated node must still
@@ -227,6 +252,19 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
 
   CostVector cost = CpuCostModel::forward(mode_for(decision), kind);
   const bool stateful = decision == StateDecision::kStateful;
+  if (const obs::Sinks& obs = sim_.obs(); obs.any()) {
+    if (obs.metrics != nullptr) {
+      obs.metrics
+          ->counter(stateful ? "decision.stateful" : "decision.stateless")
+          .inc();
+    }
+    if (obs.tracer != nullptr) {
+      obs.tracer->instant("state_decision", "policy", sim_.now(),
+                          config_.address.value(), "stateful",
+                          stateful ? 1.0 : 0.0, "path",
+                          static_cast<double>(path_index));
+    }
+  }
 
   // --- Authentication -----------------------------------------------------
   // With AuthScope::kWhenStateful, verification travels with the state
@@ -286,6 +324,9 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
   if (msg->method() == sip::Method::kInvite) {
     if (!cpu_.submit(cost.total(), std::move(action))) {
       ++stats_.rejected_busy;
+      if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
+        obs.metrics->counter("proxy.rejected_busy").inc();
+      }
       respond_urgent(*msg, sip::status::kServerError, from);
       return;
     }
@@ -552,6 +593,11 @@ void ProxyServer::handle_control(Address from, const sip::Message& msg) {
 }
 
 void ProxyServer::send_overload_signal(bool on, double c_asf_rate) {
+  if (const obs::Sinks& obs = sim_.obs(); obs.tracer != nullptr) {
+    obs.tracer->instant(on ? "overload_tx_on" : "overload_tx_off",
+                        "overload", sim_.now(), config_.address.value(),
+                        "c_asf", c_asf_rate);
+  }
   for (const Address upstream : upstream_proxies_) {
     sip::Message options = sip::Message::request(
         sip::Method::kOptions, sip::Uri("overload", config_.host),
@@ -593,6 +639,9 @@ void ProxyServer::send_charged(Address to, const sip::MessagePtr& msg) {
   const CostVector cost = CpuCostModel::transport_send();
   charge(cost);
   cpu_.submit_urgent(cost.total(), nullptr);
+  if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
+    obs.metrics->counter("proxy.tx").inc();
+  }
   network_.send(config_.address, to, msg);
 }
 

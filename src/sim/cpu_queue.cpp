@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace svk::sim {
 
 CpuQueue::CpuQueue(Simulator& sim, CpuQueueConfig config)
@@ -14,6 +17,12 @@ CpuQueue::CpuQueue(Simulator& sim, CpuQueueConfig config)
 bool CpuQueue::submit(double cost, Completion done) {
   if (backlog() > config_.max_queue_delay) {
     ++stats_.rejected;
+    const obs::Sinks& obs = sim_.obs();
+    if (obs.tracer != nullptr) {
+      obs.tracer->instant("cpu_reject", "cpu", sim_.now(), trace_tid_,
+                          "backlog_ms", backlog().to_millis());
+    }
+    if (obs.metrics != nullptr) obs.metrics->counter("cpu.rejected").inc();
     return false;
   }
   enqueue(cost, std::move(done));
@@ -32,6 +41,14 @@ void CpuQueue::enqueue(double cost, Completion done) {
   const SimTime start = std::max(busy_until_, sim_.now());
   busy_until_ = start + service;
   total_service_ += service;
+  const obs::Sinks& obs = sim_.obs();
+  if (obs.tracer != nullptr && service > SimTime{}) {
+    // One span per unit of work at its scheduled service slot: the node's
+    // trace track shows CPU occupancy directly (gaps = idle time).
+    obs.tracer->complete("service", "cpu", start, service, trace_tid_,
+                         "cost", cost);
+  }
+  if (obs.metrics != nullptr) obs.metrics->counter("cpu.admitted").inc();
   if (done) {
     sim_.schedule_at(busy_until_, std::move(done));
   }

@@ -57,6 +57,10 @@ class CpuQueue {
   [[nodiscard]] const CpuStats& stats() const { return stats_; }
   [[nodiscard]] double capacity() const { return config_.capacity; }
 
+  /// Node id used for trace events (the owning proxy's address); 0 until
+  /// set. Tracing reads the simulator's observability sinks.
+  void set_trace_tid(std::uint32_t tid) { trace_tid_ = tid; }
+
  private:
   void enqueue(double cost, Completion done);
 
@@ -65,6 +69,7 @@ class CpuQueue {
   SimTime busy_until_;        // when the last admitted work completes
   SimTime total_service_;     // sum of all admitted service times
   CpuStats stats_;
+  std::uint32_t trace_tid_{0};
 };
 
 /// Measures mean CPU utilization over an interval by snapshotting

@@ -2,7 +2,16 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace svk::sim {
+
+void Simulator::set_obs(const obs::Sinks& sinks) {
+  obs_ = sinks;
+  depth_series_ =
+      obs_.metrics != nullptr ? &obs_.metrics->series("sim.pending_events")
+                              : nullptr;
+}
 
 EventId Simulator::schedule(SimTime delay, Action action) {
   if (delay < SimTime{}) delay = SimTime{};
@@ -39,6 +48,11 @@ bool Simulator::step() {
   pending_.erase(ev.id);
   now_ = ev.at;
   ++executed_;
+  // Event-queue depth sampled every 1024 events: cheap enough for the hot
+  // loop, dense enough to see a runaway schedule in the metrics dump.
+  if (depth_series_ != nullptr && (executed_ & 1023u) == 0) {
+    depth_series_->sample(now_, static_cast<double>(pending_.size()));
+  }
   ev.action();
   return true;
 }

@@ -12,6 +12,11 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "obs/sinks.hpp"
+
+namespace svk::obs {
+class TimeSeries;
+}  // namespace svk::obs
 
 namespace svk::sim {
 
@@ -58,6 +63,13 @@ class Simulator {
   /// tombstone sizes (which underflowed when a stale id was cancelled).
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
+  /// Installs observability sinks. The returned struct from obs() has a
+  /// stable address for the simulator's lifetime, so components may cache
+  /// `&sim.obs()` and observe late enablement. Purely passive: attaching
+  /// sinks never changes simulated results.
+  void set_obs(const obs::Sinks& sinks);
+  [[nodiscard]] const obs::Sinks& obs() const { return obs_; }
+
  private:
   struct Event {
     SimTime at;
@@ -79,6 +91,8 @@ class Simulator {
   SimTime now_;
   EventId next_id_{1};
   std::uint64_t executed_{0};
+  obs::Sinks obs_;
+  obs::TimeSeries* depth_series_{nullptr};  // cached metrics series
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> pending_;    // scheduled, not run or cancelled
   std::unordered_set<EventId> cancelled_;  // tombstones still in queue_

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace svk::txn {
 
 TransactionManager::TransactionManager(sim::Simulator& sim,
@@ -45,6 +48,10 @@ ClientTransaction& TransactionManager::create_client(
   ClientTransaction& ref = *txn;
   ++created_;
   clients_[key] = std::move(txn);
+  if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
+    obs.metrics->counter("txn.client_created").inc();
+  }
+  note_active();
   ref.start();
   return ref;
 }
@@ -63,6 +70,10 @@ ServerTransaction& TransactionManager::create_server(
   ServerTransaction& ref = *txn;
   ++created_;
   servers_[key] = std::move(txn);
+  if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
+    obs.metrics->counter("txn.server_created").inc();
+  }
+  note_active();
   return ref;
 }
 
@@ -92,12 +103,25 @@ void TransactionManager::schedule_client_removal(
     const sip::TransactionKey& key) {
   // Removal is deferred to a fresh event so the transaction's member
   // functions can safely finish executing on the current stack.
-  sim_.schedule(SimTime{}, [this, key] { clients_.erase(key); });
+  sim_.schedule(SimTime{}, [this, key] {
+    clients_.erase(key);
+    note_active();
+  });
 }
 
 void TransactionManager::schedule_server_removal(
     const sip::TransactionKey& key) {
-  sim_.schedule(SimTime{}, [this, key] { servers_.erase(key); });
+  sim_.schedule(SimTime{}, [this, key] {
+    servers_.erase(key);
+    note_active();
+  });
+}
+
+void TransactionManager::note_active() {
+  if (const obs::Sinks& obs = sim_.obs(); obs.tracer != nullptr) {
+    obs.tracer->counter("active_txns", sim_.now(), trace_tid_, "count",
+                        static_cast<double>(active_count()));
+  }
 }
 
 }  // namespace svk::txn

@@ -56,12 +56,19 @@ class TransactionManager {
   }
   [[nodiscard]] std::uint64_t created_count() const { return created_; }
 
+  /// Node id used for trace events (the owning element's address); 0 until
+  /// set. Tracing reads the simulator's observability sinks.
+  void set_trace_tid(std::uint32_t tid) { trace_tid_ = tid; }
+
  private:
   void schedule_client_removal(const sip::TransactionKey& key);
   void schedule_server_removal(const sip::TransactionKey& key);
+  /// Emits the active-transaction counter track after a table change.
+  void note_active();
 
   sim::Simulator& sim_;
   TimerConfig timers_;
+  std::uint32_t trace_tid_{0};
   std::uint64_t created_{0};
   std::unordered_map<sip::TransactionKey, std::unique_ptr<ClientTransaction>,
                      sip::TransactionKeyHash>

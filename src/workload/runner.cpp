@@ -91,13 +91,23 @@ RunRecord to_run_record(const PointResult& point, double rate_scale,
   record.node_utilization = point.proxy_utilization;
   record.node_rejected = point.proxy_rejected;
   record.wall_seconds = point.wall_seconds;
+  if (!point.controller_windows.empty()) {
+    record.controller_windows = obs::windows_to_json(point.controller_windows);
+  }
   return record;
 }
 
 PointResult measure_point(const BedFactory& factory, double offered_cps,
                           const MeasureOptions& options) {
+  return measure_point_retained(factory, offered_cps, options).point;
+}
+
+ObservedPoint measure_point_retained(const BedFactory& factory,
+                                     double offered_cps,
+                                     const MeasureOptions& options) {
   const auto wall_start = std::chrono::steady_clock::now();
   std::unique_ptr<TestBed> bed = factory(offered_cps);
+  if (options.observe) bed->enable_observability();
   sim::Simulator& sim = bed->sim();
 
   bed->start_load();
@@ -168,11 +178,15 @@ PointResult measure_point(const BedFactory& factory, double offered_cps,
     result.proxy_stateless.push_back(after.proxy_stateless[i] -
                                      before.proxy_stateless[i]);
   }
+  if (obs::Observability* obs = bed->observability();
+      obs != nullptr && obs->audit() != nullptr) {
+    result.controller_windows = obs->audit()->snapshot();
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  return result;
+  return {std::move(result), std::move(bed)};
 }
 
 SweepResult sweep(const BedFactory& factory, double lo, double hi,

@@ -11,6 +11,7 @@
 
 #include "common/run_record.hpp"
 #include "common/sim_time.hpp"
+#include "obs/audit.hpp"
 #include "workload/testbed.hpp"
 
 namespace svk::workload {
@@ -18,6 +19,11 @@ namespace svk::workload {
 struct MeasureOptions {
   SimTime warmup = SimTime::seconds(2.0);
   SimTime measure = SimTime::seconds(5.0);
+  /// Enables the observability layer (metrics/trace/audit) on the measured
+  /// bed. Purely passive: simulated results are bit-identical either way
+  /// (asserted by ObsDeterminismTest); only PointResult::controller_windows
+  /// and the retained bed's trace/metric contents change.
+  bool observe = false;
 };
 
 /// One (offered load -> observed behaviour) sample.
@@ -47,6 +53,11 @@ struct PointResult {
   /// Real (host) time spent simulating this point. Not part of the
   /// simulation output: identical runs may report different wall times.
   double wall_seconds = 0.0;
+
+  /// Controller audit windows captured during the run (empty unless
+  /// MeasureOptions::observe was set), all nodes interleaved in emission
+  /// order; AuditWindow::node_tid tells them apart.
+  std::vector<obs::AuditWindow> controller_windows;
 };
 
 /// Converts a measured point into the serializable record form. `rate_scale`
@@ -65,6 +76,19 @@ using BedFactory =
 [[nodiscard]] PointResult measure_point(const BedFactory& factory,
                                         double offered_cps,
                                         const MeasureOptions& options = {});
+
+/// A measured point together with its (finished) TestBed, kept alive so
+/// callers can export traces/metrics accumulated during the run.
+struct ObservedPoint {
+  PointResult point;
+  std::unique_ptr<TestBed> bed;
+};
+
+/// Like measure_point, but hands back the bed as well. Use with
+/// `options.observe = true` to export the trace/metrics afterwards.
+[[nodiscard]] ObservedPoint measure_point_retained(
+    const BedFactory& factory, double offered_cps,
+    const MeasureOptions& options = {});
 
 struct SweepResult {
   std::vector<PointResult> points;

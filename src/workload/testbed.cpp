@@ -19,7 +19,24 @@ Address TestBed::declare_host(const std::string& host) {
   if (const auto existing = registry_.resolve(host)) return *existing;
   const Address addr{next_address_++};
   registry_.add(host, addr);
+  host_names_.emplace_back(addr.value(), host);
+  if (obs_ != nullptr && obs_->tracer() != nullptr) {
+    obs_->tracer()->set_thread_name(addr.value(), host);
+  }
   return addr;
+}
+
+obs::Observability& TestBed::enable_observability(obs::Options options) {
+  if (obs_ == nullptr) {
+    obs_ = std::make_unique<obs::Observability>(options);
+    sim_.set_obs(obs_->sinks());
+    if (obs_->tracer() != nullptr) {
+      for (const auto& [addr, host] : host_names_) {
+        obs_->tracer()->set_thread_name(addr, host);
+      }
+    }
+  }
+  return *obs_;
 }
 
 proxy::ProxyServer& TestBed::add_proxy(

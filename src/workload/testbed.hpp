@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 #include "proxy/host_registry.hpp"
 #include "proxy/location.hpp"
 #include "proxy/proxy.hpp"
@@ -71,6 +72,15 @@ class TestBed {
     return rng_.split(salt);
   }
 
+  /// Turns on observability for this bed (idempotent): creates the backend
+  /// bundle, installs its sinks on the simulator, and names each declared
+  /// host's trace timeline. Works before or after elements are added —
+  /// components read the simulator's Sinks struct by stable address.
+  obs::Observability& enable_observability(obs::Options options = {});
+
+  /// Null when observability was never enabled.
+  [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
+
  private:
   sim::Simulator sim_;
   Rng rng_;
@@ -78,6 +88,9 @@ class TestBed {
   std::shared_ptr<proxy::LocationService> location_;
   proxy::SipNetwork network_;
   std::uint32_t next_address_{1};
+  /// (address, host) pairs in declaration order, for trace thread names.
+  std::vector<std::pair<std::uint32_t, std::string>> host_names_;
+  std::unique_ptr<obs::Observability> obs_;
   std::vector<std::unique_ptr<proxy::ProxyServer>> proxies_;
   std::vector<std::unique_ptr<Uac>> uacs_;
   std::vector<std::unique_ptr<Uas>> uases_;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "proxy/auth.hpp"
 
 namespace svk::workload {
@@ -161,7 +162,12 @@ void Uac::on_invite_response(const std::string& call_id,
     if (call.established) return;  // retransmitted 2xx, txn already fired
     call.established = true;
     ++metrics_.calls_established;
-    metrics_.setup_time_ms.add((sim_.now() - call.invite_sent).to_millis());
+    const double setup_ms = (sim_.now() - call.invite_sent).to_millis();
+    metrics_.setup_time_ms.add(setup_ms);
+    if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
+      obs.metrics->counter("uac.calls_established").inc();
+      obs.metrics->series("uac.setup_ms").sample(sim_.now(), setup_ms);
+    }
 
     call.to_tag = msg->to().tag;
     call.remote_target = msg->contact() ? msg->contact()->uri
@@ -184,6 +190,9 @@ void Uac::on_invite_response(const std::string& call_id,
     ++metrics_.calls_cancelled;
   } else {
     ++metrics_.calls_failed;
+    if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
+      obs.metrics->counter("uac.calls_failed").inc();
+    }
   }
   calls_.erase(it);
 }

@@ -7,6 +7,8 @@
 #include <limits>
 
 #include "core/controller.hpp"
+#include "obs/audit.hpp"
+#include "obs/sinks.hpp"
 
 namespace svk::core {
 namespace {
@@ -402,6 +404,158 @@ TEST(ControllerTest, TargetUtilizationScalesBudget) {
   run_window(controller, 150, 0, true);
   EXPECT_NEAR(controller.last_budget_rate(), 30.0, 1e-9);
   EXPECT_NEAR(controller.paths()[0].myshare, 30.0, 1e-6);
+}
+
+TEST(ControllerTest, CorrectionRelaxesWhileBelowThreshold) {
+  // Regression: the closed-loop correction used to be frozen in the
+  // below-T_SF branch, so a node that backed off during a hot episode
+  // re-entered case 2 with the stale multiplier and under-took state
+  // indefinitely. High -> low -> high load must restore the full share.
+  ControllerConfig config = small_config();
+  config.target_utilization = 0.95;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  // Hot episode above T_SF: multiplicative back-off.
+  for (int w = 0; w < 6; ++w) {
+    controller.observed_utilization = 1.0;
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  ASSERT_LT(controller.share_correction(), 0.7);
+  // Quiet episode below T_SF: the correction must relax back to 1.
+  controller.observed_utilization = 0.2;
+  controller.observed_backlog_fraction = 0.0;
+  for (int w = 6; w < 14; ++w) {
+    run_window(controller, 80, 0, true, static_cast<double>(w));
+  }
+  EXPECT_DOUBLE_EQ(controller.share_correction(), 1.0);
+  // Back above T_SF with a cool CPU: the very first case-2 window already
+  // computes the full share. u = 0.95 => c = 190, share = 190 - 150 = 40.
+  run_window(controller, 150, 0, true, 14.0);
+  EXPECT_NEAR(controller.paths()[0].myshare, 40.0, 1e-6);
+}
+
+TEST(ControllerTest, OutOfOrderPathDiscoveryKeepsDelegability) {
+  // Regression: a stray request on a high unknown index grew the table,
+  // creating filler entries whose delegable=false default was permanent —
+  // a delegable path first contacted at a lower index afterwards was
+  // misclassified as an exit path forever.
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  (void)controller.decide(ctx(5, true, false));  // grows table to 6 entries
+  ASSERT_EQ(controller.paths().size(), 6u);
+  (void)controller.decide(ctx(2, true, false));  // first contact on filler
+  EXPECT_TRUE(controller.paths()[2].delegable);
+  EXPECT_TRUE(controller.paths()[5].delegable);
+
+  // Behavioral check: above T_SF the window computation must treat path 2
+  // as delegable — finite share, no forced all-stateful handling. (As a
+  // filler exit path it would get an infinite myshare and its whole load,
+  // 150 > budget 50, would be unavoidable: self-overload.)
+  controller.on_tick(SimTime::seconds(0.0));
+  for (int i = 0; i < 150; ++i) (void)controller.decide(ctx(2, true, false));
+  controller.on_tick(SimTime::seconds(1.0));
+  EXPECT_TRUE(std::isfinite(controller.paths()[2].myshare));
+  EXPECT_FALSE(controller.self_overloaded());
+}
+
+TEST(ControllerTest, OverloadSignalOnUnknownPathMarksDelegable) {
+  // Overload signals come from downstream proxies, so a signal on a path
+  // we have never routed to still identifies a delegable path.
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.on_overload_signal(3, true, 25.0);
+  ASSERT_EQ(controller.paths().size(), 4u);
+  EXPECT_TRUE(controller.paths()[3].delegable);
+  EXPECT_TRUE(controller.paths()[3].overloaded);
+  EXPECT_NEAR(controller.paths()[3].frozen_c_asf, 25.0, 1e-12);
+}
+
+TEST(ControllerTest, JitteredTickUsesMeasuredElapsed) {
+  // Regression: rates were measured over the real elapsed time but myshare
+  // was sized with the configured period, so a late tick under-sized the
+  // per-window stateful allowance (and its 1.5x admission guard).
+  Controller controller(small_config());
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.on_tick(SimTime::seconds(0.0));
+  for (int i = 0; i < 300; ++i) (void)controller.decide(ctx(0, true, false));
+  controller.on_tick(SimTime::seconds(2.0));  // tick arrived a period late
+  // Rate 150/s over the measured 2s window; share rate = 50/s; the window
+  // count must be sized for the window actually seen: 100, not 50.
+  EXPECT_NEAR(controller.last_total_rate(), 150.0, 1e-9);
+  EXPECT_NEAR(controller.paths()[0].myshare, 100.0, 1e-6);
+  // Same jittered cadence again: ~1/3 of requests go stateful, and the
+  // window-count guard (1.5 x myshare) must not clip the realized share.
+  int stateful = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (controller.decide(ctx(0, true, false)) == StateDecision::kStateful) {
+      ++stateful;
+    }
+  }
+  controller.on_tick(SimTime::seconds(4.0));
+  EXPECT_NEAR(stateful, 100, 3);
+}
+
+TEST(ControllerTest, AuditLogRecordsOverloadLifecycle) {
+  // Freeze -> upstream c_ASF recompute -> hysteresis recovery, asserted
+  // against the audit log of both nodes in a two-controller chain.
+  obs::ControllerAuditLog log;
+  obs::Sinks sinks;
+  sinks.audit = &log;
+
+  Controller downstream(small_config());
+  downstream.register_paths({PathInfo{false, Address{}}});
+  downstream.obs = &sinks;
+  downstream.obs_tid = 2;
+
+  Controller upstream(small_config());
+  upstream.register_paths({PathInfo{true, Address{2}}});
+  upstream.obs = &sinks;
+  upstream.obs_tid = 1;
+  // Wire the chain: downstream's overload signal reaches upstream's path 0.
+  downstream.send_overload = [&](bool on, double rate) {
+    upstream.on_overload_signal(0, on, rate);
+  };
+
+  // Window 1: downstream (exit node) takes 150 req/s, budget 50 -> freeze.
+  run_window(downstream, 150, 0, false);
+  ASSERT_TRUE(downstream.self_overloaded());
+  ASSERT_TRUE(upstream.paths()[0].overloaded);
+  {
+    const auto windows = log.windows_for(2);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_TRUE(windows[0].self_overloaded);
+    EXPECT_TRUE(windows[0].overload_changed);
+    EXPECT_FALSE(windows[0].below_t_sf);
+    EXPECT_NEAR(windows[0].total_rate, 150.0, 1e-9);
+    EXPECT_NEAR(windows[0].budget_rate, 50.0, 1e-9);
+    ASSERT_EQ(windows[0].paths.size(), 1u);
+    EXPECT_EQ(windows[0].paths[0].msg_count, 150u);
+    EXPECT_EQ(windows[0].paths[0].sf_count, 150u);
+  }
+
+  // Window 2: upstream at 150 req/s against the frozen allowance (50):
+  // forced share = 150 - 50 = 100, recorded with the frozen c_ASF.
+  run_window(upstream, 150, 0, true);
+  {
+    const auto windows = log.windows_for(1);
+    ASSERT_EQ(windows.size(), 1u);
+    ASSERT_EQ(windows[0].paths.size(), 1u);
+    EXPECT_TRUE(windows[0].paths[0].overloaded);
+    EXPECT_NEAR(windows[0].paths[0].frozen_c_asf, 50.0, 1e-9);
+    EXPECT_NEAR(windows[0].paths[0].myshare, 100.0, 1e-6);
+  }
+
+  // Window 3: downstream load falls but stays above the T_SF case-1 exit;
+  // required 30 < 0.85 * budget -> hysteresis recovery, signalled upstream.
+  run_window(downstream, 30, 120, false, 1.0);
+  EXPECT_FALSE(downstream.self_overloaded());
+  EXPECT_FALSE(upstream.paths()[0].overloaded);
+  {
+    const auto windows = log.windows_for(2);
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_FALSE(windows[1].self_overloaded);
+    EXPECT_TRUE(windows[1].overload_changed);
+  }
 }
 
 TEST(ControllerTest, NegativeShareClampsToZero) {

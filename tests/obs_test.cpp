@@ -1,0 +1,241 @@
+// Observability-layer tests: metric registry, tracer, controller audit
+// log, Chrome trace export — and the determinism guarantee that enabling
+// observability never changes simulated results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace.hpp"
+#include "workload/runner.hpp"
+#include "workload/scenarios.hpp"
+
+namespace svk::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, RingKeepsNewestAndCountsDropped) {
+  TimeSeries series(4);
+  for (int i = 0; i < 6; ++i) {
+    series.sample(SimTime::seconds(static_cast<double>(i)),
+                  static_cast<double>(i * 10));
+  }
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.capacity(), 4u);
+  EXPECT_EQ(series.dropped(), 2u);
+  const auto samples = series.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Oldest-first, the two earliest observations gone.
+  EXPECT_DOUBLE_EQ(samples.front().value, 20.0);
+  EXPECT_DOUBLE_EQ(samples.back().value, 50.0);
+}
+
+TEST(MetricRegistryTest, InstrumentsAreCreatedOnFirstUseAndStable) {
+  MetricRegistry registry;
+  Counter& c = registry.counter("a.count");
+  c.inc();
+  Gauge& g = registry.gauge("a.gauge");
+  g.set(2.5);
+  TimeSeries& s = registry.series("a.series", 8);
+  s.sample(SimTime::seconds(1.0), 7.0);
+  // Creating more instruments must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("other." + std::to_string(i)).inc();
+  }
+  c.inc();
+  EXPECT_EQ(registry.counter("a.count").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("a.gauge").value(), 2.5);
+  EXPECT_EQ(registry.series("a.series").size(), 1u);
+
+  const std::string json = registry.to_json().dump();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, RecordsTypedEvents) {
+  Tracer tracer;
+  tracer.set_thread_name(1, "p1.example.org");
+  tracer.instant("rx", "msg", SimTime::millis(2), 1, "from", 7.0);
+  tracer.complete("service", "cpu", SimTime::millis(3), SimTime::micros(250),
+                  1, "cost", 42.0);
+  tracer.counter("utilization", SimTime::millis(4), 1, "util", 0.5);
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events()[0].phase, 'i');
+  EXPECT_EQ(tracer.events()[1].phase, 'X');
+  EXPECT_EQ(tracer.events()[2].phase, 'C');
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, BoundedBufferDropsNewestPastCapacity) {
+  Tracer tracer(2);
+  for (int i = 0; i < 5; ++i) {
+    tracer.instant("e", "t", SimTime::millis(i), 1);
+  }
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(TracerTest, ChromeJsonHasTraceEventsAndThreadNames) {
+  Tracer tracer;
+  tracer.set_thread_name(3, "p1.example.org");
+  tracer.instant("window_tick", "controller", SimTime::seconds(1.0), 3,
+                 "total_rate", 150.0);
+  tracer.complete("service", "cpu", SimTime::seconds(1.0),
+                  SimTime::micros(100), 3);
+  const std::string json = tracer.to_chrome_json().dump();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("p1.example.org"), std::string::npos);
+  EXPECT_NE(json.find("\"window_tick\""), std::string::npos);
+  // ts is exported in microseconds: 1s -> 1000000.
+  EXPECT_NE(json.find("1000000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ControllerAuditLog
+// ---------------------------------------------------------------------------
+
+AuditWindow make_window(std::uint32_t tid, double at_s) {
+  AuditWindow w;
+  w.node_tid = tid;
+  w.at = SimTime::seconds(at_s);
+  w.elapsed = 1.0;
+  w.total_rate = 150.0;
+  return w;
+}
+
+TEST(AuditLogTest, RingAndPerNodeFilter) {
+  ControllerAuditLog log(3);
+  log.append(make_window(1, 1.0));
+  log.append(make_window(2, 1.0));
+  log.append(make_window(1, 2.0));
+  log.append(make_window(2, 2.0));  // evicts the oldest
+  EXPECT_EQ(log.windows().size(), 3u);
+  EXPECT_EQ(log.dropped(), 1u);
+  const auto node1 = log.windows_for(1);
+  ASSERT_EQ(node1.size(), 1u);  // its first window was evicted
+  EXPECT_DOUBLE_EQ(node1[0].at.to_seconds(), 2.0);
+  EXPECT_EQ(log.windows_for(2).size(), 2u);
+}
+
+TEST(AuditLogTest, InfiniteMyshareSerializesAsNull) {
+  AuditWindow w = make_window(1, 1.0);
+  AuditPathRow row;
+  row.path_index = 0;
+  row.myshare = std::numeric_limits<double>::infinity();
+  w.paths.push_back(row);
+  const std::string json = w.to_json().dump();
+  EXPECT_NE(json.find("\"myshare\":null"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: observed run produces data; disabled run is bit-identical.
+// ---------------------------------------------------------------------------
+
+workload::BedFactory small_servartuka_chain() {
+  workload::ScenarioOptions options;
+  options.policy = workload::PolicyKind::kServartuka;
+  options.capacity_scale = {0.01, 0.01, 0.01, 0.01};  // 1/100-scale nodes
+  return workload::series_chain(2, options);
+}
+
+workload::MeasureOptions short_run(bool observe) {
+  workload::MeasureOptions options;
+  options.warmup = SimTime::seconds(3.0);
+  options.measure = SimTime::seconds(4.0);
+  options.observe = observe;
+  return options;
+}
+
+TEST(ObsEndToEndTest, ObservedRunCapturesTraceMetricsAndAudit) {
+  // 120 cps on 1/100-scale nodes sits above T_SF: the controller exercises
+  // its case-2 path and every backend collects data.
+  workload::ObservedPoint observed = workload::measure_point_retained(
+      small_servartuka_chain(), 120.0, short_run(true));
+  Observability* obs = observed.bed->observability();
+  ASSERT_NE(obs, nullptr);
+
+  EXPECT_GT(obs->tracer()->events().size(), 100u);
+  EXPECT_GT(obs->metrics()->counter("proxy.rx").value(), 100u);
+  EXPECT_GT(obs->metrics()->counter("decision.stateful").value(), 0u);
+  EXPECT_FALSE(obs->audit()->windows().empty());
+  EXPECT_FALSE(observed.point.controller_windows.empty());
+  // Both proxies' controllers reported windows.
+  bool any_case2 = false;
+  for (const AuditWindow& w : obs->audit()->windows()) {
+    EXPECT_GT(w.elapsed, 0.0);
+    if (!w.below_t_sf) any_case2 = true;
+  }
+  EXPECT_TRUE(any_case2);
+
+  // The Chrome export writes and looks like a trace file.
+  const std::string path =
+      testing::TempDir() + "obs_test_trace.json";
+  ASSERT_TRUE(obs->tracer()->write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string content(static_cast<std::size_t>(size), '\0');
+  const std::size_t read = std::fread(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  content.resize(read);
+  EXPECT_EQ(content.front(), '{');
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"displayTimeUnit\""), std::string::npos);
+
+  // The serialized RunRecord embeds the audit series.
+  const RunRecord record = workload::to_run_record(observed.point);
+  EXPECT_TRUE(record.controller_windows.is_array());
+  const std::string record_json = record.to_json().dump();
+  EXPECT_NE(record_json.find("\"controller_windows\""), std::string::npos);
+  EXPECT_NE(record_json.find("\"sf_fraction\""), std::string::npos);
+}
+
+TEST(ObsDeterminismTest, ObservedRunIsBitIdenticalToUnobserved) {
+  // The observability layer only reads simulation state; switching it on
+  // must not change a single measured value.
+  const workload::PointResult off =
+      workload::measure_point(small_servartuka_chain(), 120.0,
+                              short_run(false));
+  const workload::PointResult on =
+      workload::measure_point(small_servartuka_chain(), 120.0,
+                              short_run(true));
+
+  EXPECT_EQ(off.throughput_cps, on.throughput_cps);
+  EXPECT_EQ(off.attempted_cps, on.attempted_cps);
+  EXPECT_EQ(off.goodput_ratio, on.goodput_ratio);
+  EXPECT_EQ(off.setup_ms_mean, on.setup_ms_mean);
+  EXPECT_EQ(off.setup_ms_p50, on.setup_ms_p50);
+  EXPECT_EQ(off.setup_ms_p90, on.setup_ms_p90);
+  EXPECT_EQ(off.setup_ms_p99, on.setup_ms_p99);
+  EXPECT_EQ(off.calls_failed, on.calls_failed);
+  EXPECT_EQ(off.busy_500, on.busy_500);
+  EXPECT_EQ(off.retransmissions, on.retransmissions);
+  EXPECT_EQ(off.trying_received, on.trying_received);
+  EXPECT_EQ(off.calls_established_uac, on.calls_established_uac);
+  EXPECT_EQ(off.proxy_utilization, on.proxy_utilization);
+  EXPECT_EQ(off.proxy_rejected, on.proxy_rejected);
+  EXPECT_EQ(off.proxy_stateful, on.proxy_stateful);
+  EXPECT_EQ(off.proxy_stateless, on.proxy_stateless);
+  // And the observed run did actually record something.
+  EXPECT_TRUE(off.controller_windows.empty());
+  EXPECT_FALSE(on.controller_windows.empty());
+}
+
+}  // namespace
+}  // namespace svk::obs
