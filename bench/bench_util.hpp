@@ -20,6 +20,7 @@
 #include "common/json.hpp"
 #include "common/run_record.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/fault_plan.hpp"
 #include "workload/runner.hpp"
 #include "workload/scenarios.hpp"
 
@@ -42,6 +43,11 @@ inline std::string g_trace_path;
 /// Metrics dump path (empty = off). Set by --metrics=<file> or SVK_METRICS.
 inline std::string g_metrics_path;
 
+/// Fault plan file (empty = fault-free). Set by --faults=<file> or the
+/// SVK_FAULTS environment variable; the plan is armed on every scenario the
+/// bench builds, so any figure can be reproduced under a fault schedule.
+inline std::string g_faults_path;
+
 /// Shared bench entry point: parses/strips the harness's own flags, then
 /// hands the rest to google-benchmark.
 inline void initialize(int* argc, char** argv) {
@@ -50,12 +56,18 @@ inline void initialize(int* argc, char** argv) {
   }
   if (const char* env = std::getenv("SVK_TRACE")) g_trace_path = env;
   if (const char* env = std::getenv("SVK_METRICS")) g_metrics_path = env;
+  if (const char* env = std::getenv("SVK_FAULTS")) g_faults_path = env;
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg = argv[i];
     constexpr std::string_view kThreadsFlag = "--threads=";
     constexpr std::string_view kTraceFlag = "--trace=";
     constexpr std::string_view kMetricsFlag = "--metrics=";
+    constexpr std::string_view kFaultsFlag = "--faults=";
+    if (arg.rfind(kFaultsFlag, 0) == 0) {
+      g_faults_path = std::string(arg.substr(kFaultsFlag.size()));
+      continue;
+    }
     if (arg.rfind(kThreadsFlag, 0) == 0) {
       g_threads = static_cast<std::size_t>(
           std::strtoul(arg.substr(kThreadsFlag.size()).data(), nullptr, 10));
@@ -92,12 +104,27 @@ inline constexpr double kScale = 0.1;
   return full_cps * kScale;
 }
 
+/// Loads g_faults_path into `options.faults`. Exits on a malformed plan so
+/// a typo'd file cannot silently run fault-free.
+inline void apply_cli_faults(workload::ScenarioOptions& options) {
+  if (g_faults_path.empty()) return;
+  std::string error;
+  auto plan = fault::FaultPlan::load_file(g_faults_path, &error);
+  if (!plan) {
+    std::fprintf(stderr, "failed to load fault plan %s: %s\n",
+                 g_faults_path.c_str(), error.c_str());
+    std::exit(1);
+  }
+  options.faults = std::move(*plan);
+}
+
 [[nodiscard]] inline workload::ScenarioOptions scenario(
     workload::PolicyKind policy, int max_proxies = 4) {
   workload::ScenarioOptions options;
   options.policy = policy;
   options.capacity_scale.assign(max_proxies, kScale);
   options.controller_period = SimTime::seconds(1.0);  // the paper's window
+  apply_cli_faults(options);
   return options;
 }
 

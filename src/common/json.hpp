@@ -1,12 +1,16 @@
-// Minimal JSON document builder + serializer (no third-party deps).
+// Minimal JSON document builder + serializer + parser (no third-party deps).
 //
-// Only what the bench/result pipeline needs: build a tree of
+// Only what the bench/result/fault pipelines need: build a tree of
 // objects/arrays/numbers/strings/bools and dump it as standards-compliant
-// JSON text. Object keys keep insertion order so emitted files diff
-// cleanly across runs. There is intentionally no parser.
+// JSON text, or parse such text back (fault plans, replay artifacts).
+// Object keys keep insertion order so emitted files diff cleanly across
+// runs. The parser is a strict recursive-descent reader of the same
+// subset the serializer emits; it exists so FaultPlan files written by the
+// chaos harness can be replayed, not as a general-purpose JSON library.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -51,11 +55,37 @@ class JsonValue {
     return v;
   }
 
+  /// Parses JSON text. Returns nullopt on malformed input; when `error` is
+  /// non-null it receives a one-line description with the byte offset.
+  [[nodiscard]] static std::optional<JsonValue> parse(
+      std::string_view text, std::string* error = nullptr);
+
+  /// Reads and parses a whole file. Returns nullopt on I/O or parse error.
+  [[nodiscard]] static std::optional<JsonValue> parse_file(
+      const std::string& path, std::string* error = nullptr);
+
   [[nodiscard]] bool is_object() const {
     return std::holds_alternative<Object>(value_);
   }
   [[nodiscard]] bool is_array() const {
     return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+
+  // --- Read accessors (for parsed documents) -------------------------------
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Number as double (accepts integer and floating members).
+  [[nodiscard]] std::optional<double> as_number() const;
+  [[nodiscard]] std::optional<bool> as_bool() const;
+  [[nodiscard]] std::optional<std::string_view> as_string() const;
+  [[nodiscard]] const Array* as_array() const {
+    return std::get_if<Array>(&value_);
+  }
+  [[nodiscard]] const Object* as_object() const {
+    return std::get_if<Object>(&value_);
   }
 
   /// Object member access; creates the member (and converts a null value to

@@ -100,11 +100,62 @@ void Controller::on_overload_signal(std::size_t path_index, bool on,
   PathState& path = path_at(path_index, /*delegable=*/true);
   path.overloaded = on;
   path.frozen_c_asf = on ? c_asf_rate : 0.0;
+  // Any signal (on, refresh, or off) proves the downstream is alive and
+  // restarts the staleness/probe clocks.
+  path.windows_since_signal = 0;
+  path.probe_backoff = 0;
+  path.windows_until_probe = 0;
   if (obs != nullptr && obs->tracer != nullptr) {
     obs->tracer->instant(on ? "overload_rx_on" : "overload_rx_off",
                          "overload", last_tick_, obs_tid, "path",
                          static_cast<double>(path_index), "c_asf",
                          c_asf_rate);
+  }
+}
+
+void Controller::age_overload_state(SimTime now) {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    PathState& path = paths_[i];
+    if (!path.delegable || !path.overloaded) continue;
+    ++path.windows_since_signal;
+    if (config_.overload_stale_windows > 0 &&
+        path.windows_since_signal >= config_.overload_stale_windows) {
+      // No refresh for too long: the neighbor crashed, was partitioned
+      // away, or its "off" was lost. Drop the frozen allowance so myshare
+      // is recomputed from live measurements instead of wedging forever.
+      path.overloaded = false;
+      path.frozen_c_asf = 0.0;
+      path.smoothed_share = -1.0;
+      path.windows_since_signal = 0;
+      path.probe_backoff = 0;
+      path.windows_until_probe = 0;
+      ++stale_releases_;
+      if (obs != nullptr && obs->tracer != nullptr) {
+        obs->tracer->instant("overload_stale_release", "overload", now,
+                             obs_tid, "path", static_cast<double>(i));
+      }
+      continue;
+    }
+    if (config_.probe_after_windows == 0 ||
+        path.windows_since_signal < config_.probe_after_windows) {
+      continue;
+    }
+    if (path.windows_until_probe > 0) {
+      --path.windows_until_probe;
+      continue;
+    }
+    // Probe now, then back off exponentially (1, 2, 4, ... windows): a
+    // live-but-quiet neighbor answers the first probe, a dead one should
+    // not be hammered until the staleness timeout reaps it.
+    path.probe_backoff =
+        path.probe_backoff == 0 ? 1 : std::min(path.probe_backoff * 2, 8u);
+    path.windows_until_probe = path.probe_backoff;
+    ++probes_requested_;
+    if (obs != nullptr && obs->tracer != nullptr) {
+      obs->tracer->instant("overload_probe_tx", "overload", now, obs_tid,
+                           "path", static_cast<double>(i));
+    }
+    if (send_probe) send_probe(i);
   }
 }
 
@@ -119,6 +170,11 @@ void Controller::on_tick(SimTime now) {
   const double elapsed = (now - last_tick_).to_seconds();
   last_tick_ = now;
   if (elapsed <= 0.0) return;
+
+  // Lost-signal tolerance first: frozen paths whose advertisements went
+  // silent are probed and eventually released, so the share computation
+  // below never runs against permanently stale allowances.
+  age_overload_state(now);
 
   const double total_rate = static_cast<double>(tot_msg_) / elapsed;
   last_total_rate_ = total_rate;
@@ -234,21 +290,32 @@ void Controller::on_tick(SimTime now) {
       not_ovld_count == 0 &&
       required_rate > budget_rate * config_.overload_headroom;
   bool overload_changed = false;
-  if (overloaded_now && !self_overloaded_) {
-    self_overloaded_ = true;
-    overload_changed = true;
-    // Advertise the stateful rate the subtree rooted here keeps absorbing:
-    // our own feasible budget plus everything frozen further downstream.
+  // The advertised rate is what the subtree rooted here keeps absorbing:
+  // our own feasible budget plus everything frozen further downstream.
+  const auto advertised_c_asf = [&] {
     double c_asf = budget_rate;
     for (const PathState& path : paths_) {
       if (path.delegable && path.overloaded) c_asf += path.frozen_c_asf;
     }
-    if (send_overload) send_overload(true, c_asf);
+    return c_asf;
+  };
+  if (overloaded_now && !self_overloaded_) {
+    self_overloaded_ = true;
+    overload_changed = true;
+    windows_since_advert_ = 0;
+    if (send_overload) send_overload(true, advertised_c_asf());
   } else if (self_overloaded_ &&
              required_rate < budget_rate * config_.recover_factor) {
     self_overloaded_ = false;
     overload_changed = true;
     if (send_overload) send_overload(false, 0.0);
+  } else if (self_overloaded_ && config_.readvertise_period_windows > 0 &&
+             ++windows_since_advert_ >= config_.readvertise_period_windows) {
+    // Periodic refresh while frozen: repairs an upstream that missed the
+    // original "on" and keeps the advertised c_ASF current as downstream
+    // conditions move.
+    windows_since_advert_ = 0;
+    if (send_overload) send_overload(true, advertised_c_asf());
   }
 
   emit_audit(now, elapsed, /*below_t_sf=*/false, overload_changed);

@@ -61,6 +61,23 @@ struct ControllerConfig {
   /// Overload clears when required < recover_factor * budget.
   double recover_factor = 0.85;
 
+  // --- Lost-signal tolerance (overload signals ride unacknowledged OPTIONS
+  // --- and can be dropped by the network; see DESIGN.md §controller) ------
+  /// While self-overloaded, re-send the overload advertisement every this
+  /// many windows so an upstream that missed the original "on" (or a
+  /// refreshed c_ASF) converges anyway. 0 disables re-advertisement.
+  std::uint32_t readvertise_period_windows = 2;
+  /// Release a downstream path's frozen overload state when no signal has
+  /// refreshed it for this many windows: a crashed or partitioned neighbor
+  /// stops re-advertising, and without a timeout a lost "off" wedges
+  /// frozen_c_asf forever. 0 disables the timeout.
+  std::uint32_t overload_stale_windows = 6;
+  /// Probe a silent overloaded downstream path (via send_probe) once its
+  /// signal is this many windows old, backing off exponentially between
+  /// probes. Must be below overload_stale_windows to matter. 0 disables
+  /// probing.
+  std::uint32_t probe_after_windows = 3;
+
   /// Number of transaction-creating requests per call in the measured
   /// workload (INVITE + BYE).
   static constexpr double kRequestsPerCall = 2.0;
@@ -99,6 +116,14 @@ struct PathState {
   double smoothed_share = -1.0;
   bool overloaded = false;      // downstream froze
   double frozen_c_asf = 0.0;    // stateful rate the frozen subtree absorbs
+  // --- lost-signal tolerance ----------------------------------------------
+  /// Windows since the last overload signal refreshed this path; aged every
+  /// tick while overloaded, reset by on_overload_signal.
+  std::uint32_t windows_since_signal = 0;
+  /// Current probe backoff interval in windows (0 = no probe sent yet).
+  std::uint32_t probe_backoff = 0;
+  /// Windows left before the next probe fires.
+  std::uint32_t windows_until_probe = 0;
 };
 
 class Controller final : public proxy::StatePolicy {
@@ -125,9 +150,18 @@ class Controller final : public proxy::StatePolicy {
   [[nodiscard]] double last_budget_rate() const { return last_budget_rate_; }
   [[nodiscard]] double share_correction() const { return correction_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t stale_releases() const {
+    return stale_releases_;
+  }
+  [[nodiscard]] std::uint64_t probes_requested() const {
+    return probes_requested_;
+  }
 
  private:
   void reset_window_counters();
+  /// Ages overloaded paths' signal freshness, releases stale frozen state
+  /// and schedules probes of silent downstream paths. Runs every window.
+  void age_overload_state(SimTime now);
   /// Grows paths_ to cover `index` (new entries unseen) and returns the
   /// entry, marking it seen with the given delegability on first sight.
   PathState& path_at(std::size_t index, bool delegable);
@@ -145,6 +179,9 @@ class Controller final : public proxy::StatePolicy {
   bool first_tick_done_{false};
   bool self_overloaded_{false};
   double correction_{1.0};
+  std::uint32_t windows_since_advert_{0};
+  std::uint64_t stale_releases_{0};
+  std::uint64_t probes_requested_{0};
   double last_total_rate_{0.0};
   double last_budget_rate_{0.0};
 };

@@ -1,0 +1,179 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace svk::fault {
+namespace {
+
+/// Reads an optional numeric member, falling back to `fallback`.
+double number_or(const JsonValue& obj, std::string_view key,
+                 double fallback) {
+  if (const JsonValue* member = obj.find(key)) {
+    if (const auto n = member->as_number()) return *n;
+  }
+  return fallback;
+}
+
+std::string string_or(const JsonValue& obj, std::string_view key) {
+  if (const JsonValue* member = obj.find(key)) {
+    if (const auto s = member->as_string()) return std::string(*s);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kLatencyBurst: return "latency_burst";
+    case FaultKind::kCpuDegrade: return "cpu_degrade";
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> fault_kind_from(std::string_view name) {
+  if (name == "node_crash") return FaultKind::kNodeCrash;
+  if (name == "link_down") return FaultKind::kLinkDown;
+  if (name == "partition") return FaultKind::kPartition;
+  if (name == "loss_burst") return FaultKind::kLossBurst;
+  if (name == "latency_burst") return FaultKind::kLatencyBurst;
+  if (name == "cpu_degrade") return FaultKind::kCpuDegrade;
+  return std::nullopt;
+}
+
+SimTime FaultPlan::end_time() const {
+  SimTime end;
+  for (const FaultEvent& event : events) {
+    end = std::max(end, event.at + event.duration);
+  }
+  return end;
+}
+
+JsonValue FaultPlan::to_json() const {
+  JsonValue root = JsonValue::object();
+  root["name"] = name;
+  root["seed"] = seed;
+  JsonValue& list = root["events"];
+  list = JsonValue::array();
+  for (const FaultEvent& event : events) {
+    JsonValue e = JsonValue::object();
+    e["kind"] = to_string(event.kind);
+    e["at_s"] = event.at.to_seconds();
+    if (event.duration > SimTime{}) {
+      e["duration_s"] = event.duration.to_seconds();
+    }
+    if (!event.host.empty()) e["host"] = event.host;
+    if (!event.peer.empty()) e["peer"] = event.peer;
+    if (!event.group.empty()) e["group"] = JsonValue::array_of(event.group);
+    switch (event.kind) {
+      case FaultKind::kLossBurst: e["loss"] = event.value; break;
+      case FaultKind::kCpuDegrade: e["factor"] = event.value; break;
+      default: break;
+    }
+    if (event.kind == FaultKind::kLatencyBurst) {
+      e["extra_latency_ms"] = event.extra_latency.to_millis();
+    }
+    if (event.kind == FaultKind::kLinkDown && !event.bidirectional) {
+      e["bidirectional"] = false;
+    }
+    list.push_back(std::move(e));
+  }
+  return root;
+}
+
+std::optional<FaultPlan> FaultPlan::from_json(const JsonValue& json,
+                                              std::string* error) {
+  const auto fail = [error](std::string message) -> std::optional<FaultPlan> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  if (!json.is_object()) return fail("fault plan must be a JSON object");
+
+  FaultPlan plan;
+  plan.name = string_or(json, "name");
+  plan.seed = static_cast<std::uint64_t>(number_or(json, "seed", 0.0));
+
+  const JsonValue* events = json.find("events");
+  if (events == nullptr || !events->is_array()) {
+    return fail("fault plan needs an \"events\" array");
+  }
+  for (const JsonValue& entry : *events->as_array()) {
+    if (!entry.is_object()) return fail("event must be an object");
+    const std::string kind_name = string_or(entry, "kind");
+    const auto kind = fault_kind_from(kind_name);
+    if (!kind) return fail("unknown event kind \"" + kind_name + "\"");
+
+    FaultEvent event;
+    event.kind = *kind;
+    const JsonValue* at = entry.find("at_s");
+    if (at == nullptr || !at->as_number()) {
+      return fail("event needs a numeric \"at_s\"");
+    }
+    event.at = SimTime::seconds(*at->as_number());
+    event.duration = SimTime::seconds(number_or(entry, "duration_s", 0.0));
+    if (event.duration < SimTime{}) return fail("negative duration");
+    event.host = string_or(entry, "host");
+    event.peer = string_or(entry, "peer");
+    if (const JsonValue* group = entry.find("group");
+        group != nullptr && group->is_array()) {
+      for (const JsonValue& member : *group->as_array()) {
+        if (const auto s = member.as_string()) {
+          event.group.emplace_back(*s);
+        }
+      }
+    }
+    if (const JsonValue* flag = entry.find("bidirectional")) {
+      event.bidirectional = flag->as_bool().value_or(true);
+    }
+    switch (event.kind) {
+      case FaultKind::kNodeCrash:
+        if (event.host.empty()) return fail("node_crash needs \"host\"");
+        break;
+      case FaultKind::kLinkDown:
+        if (event.host.empty() || event.peer.empty()) {
+          return fail("link_down needs \"host\" and \"peer\"");
+        }
+        break;
+      case FaultKind::kPartition:
+        if (event.group.empty()) return fail("partition needs \"group\"");
+        break;
+      case FaultKind::kLossBurst:
+        event.value = number_or(entry, "loss", 0.0);
+        if (event.value < 0.0 || event.value > 1.0) {
+          return fail("loss must be in [0, 1]");
+        }
+        break;
+      case FaultKind::kLatencyBurst:
+        event.extra_latency = SimTime::seconds(
+            number_or(entry, "extra_latency_ms", 0.0) / 1000.0);
+        if (event.extra_latency < SimTime{}) {
+          return fail("negative extra_latency_ms");
+        }
+        break;
+      case FaultKind::kCpuDegrade:
+        if (event.host.empty()) return fail("cpu_degrade needs \"host\"");
+        event.value = number_or(entry, "factor", 1.0);
+        if (event.value <= 0.0) return fail("factor must be positive");
+        break;
+    }
+    plan.events.push_back(std::move(event));
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::load_file(const std::string& path,
+                                              std::string* error) {
+  const auto json = JsonValue::parse_file(path, error);
+  if (!json) return std::nullopt;
+  return from_json(*json, error);
+}
+
+bool FaultPlan::write_file(const std::string& path) const {
+  return to_json().write_file(path);
+}
+
+}  // namespace svk::fault

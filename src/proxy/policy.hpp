@@ -74,6 +74,13 @@ class StatePolicy {
   /// stateful rate) to all upstream proxies.
   std::function<void(bool on, double c_asf_rate)> send_overload;
 
+  /// Set by the owning proxy: asks the downstream proxy on `path_index` to
+  /// restate its current overload status (X-Overload-Probe). Policies call
+  /// this when a frozen path has gone silent — a lost "off" signal is then
+  /// repaired by the probe reply instead of wedging the path until its
+  /// staleness timeout.
+  std::function<void(std::size_t path_index)> send_probe;
+
   /// Filled by the owning proxy just before each on_tick: mean CPU
   /// utilization over the last window (-1 when unknown) and the current
   /// CPU backlog as a fraction of the admission bound. Policies may close

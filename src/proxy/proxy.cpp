@@ -48,6 +48,9 @@ ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
   policy_->send_overload = [this](bool on, double rate) {
     send_overload_signal(on, rate);
   };
+  policy_->send_probe = [this](std::size_t path_index) {
+    send_overload_probe(path_index);
+  };
   // Observability: the simulator's Sinks struct has a stable address, so
   // wiring it here also covers enablement after construction.
   policy_->obs = &sim_.obs();
@@ -95,7 +98,8 @@ profile::HandlingMode ProxyServer::mode_for(StateDecision decision) const {
 
 bool ProxyServer::is_control(const sip::Message& msg) const {
   return msg.is_request() && msg.method() == sip::Method::kOptions &&
-         msg.header(kOverloadHeader).has_value();
+         (msg.header(kOverloadHeader).has_value() ||
+          msg.header(kOverloadProbeHeader).has_value());
 }
 
 void ProxyServer::on_datagram(Address from, const sip::MessagePtr& msg) {
@@ -293,6 +297,7 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
       config_.stateful_mode == HandlingMode::kDialogStatefulAuth;
 
   if (stateful) {
+    if (ctx.already_stateful) ++stats_.double_stateful;
     fwd.push_via(sip::Via{"SIP/2.0/UDP", config_.host, branches_.next()});
     fwd.set_header(std::string(kStatefulMarkHeader), config_.host);
     if (dialog_mode) {
@@ -575,6 +580,13 @@ void ProxyServer::handle_register(Address from, const sip::MessagePtr& msg) {
 }
 
 void ProxyServer::handle_control(Address from, const sip::Message& msg) {
+  if (msg.header(kOverloadProbeHeader).has_value()) {
+    // A frozen upstream lost track of our status; restate it directly to
+    // the prober as a normal X-Overload signal.
+    ++stats_.overload_probes_received;
+    send_overload_status(from);
+    return;
+  }
   ++stats_.overload_signals_received;
   const auto value = msg.header(kOverloadHeader);
   if (!value) return;
@@ -592,31 +604,72 @@ void ProxyServer::handle_control(Address from, const sip::Message& msg) {
   }
 }
 
+sip::MessagePtr ProxyServer::make_overload_options(std::string_view header,
+                                                   const std::string& value) {
+  sip::Message options = sip::Message::request(
+      sip::Method::kOptions, sip::Uri("overload", config_.host),
+      sip::NameAddr{"", sip::Uri("control", config_.host), "svk"},
+      sip::NameAddr{"", sip::Uri("control", config_.host), ""},
+      config_.host + "-ovl-" + std::to_string(++overload_signal_seq_),
+      sip::CSeq{1, sip::Method::kOptions});
+  options.push_via(sip::Via{"SIP/2.0/UDP", config_.host, branches_.next()});
+  options.set_header(std::string(header), value);
+  return std::move(options).finish();
+}
+
 void ProxyServer::send_overload_signal(bool on, double c_asf_rate) {
+  last_overload_on_ = on;
+  last_overload_rate_ = c_asf_rate;
   if (const obs::Sinks& obs = sim_.obs(); obs.tracer != nullptr) {
     obs.tracer->instant(on ? "overload_tx_on" : "overload_tx_off",
                         "overload", sim_.now(), config_.address.value(),
                         "c_asf", c_asf_rate);
   }
+  char value[48];
+  std::snprintf(value, sizeof(value), "%s;rate=%.3f", on ? "on" : "off",
+                c_asf_rate);
   for (const Address upstream : upstream_proxies_) {
-    sip::Message options = sip::Message::request(
-        sip::Method::kOptions, sip::Uri("overload", config_.host),
-        sip::NameAddr{"", sip::Uri("control", config_.host), "svk"},
-        sip::NameAddr{"", sip::Uri("control", config_.host), ""},
-        config_.host + "-ovl-" + std::to_string(++overload_signal_seq_),
-        sip::CSeq{1, sip::Method::kOptions});
-    options.push_via(
-        sip::Via{"SIP/2.0/UDP", config_.host, branches_.next()});
-    char value[48];
-    std::snprintf(value, sizeof(value), "%s;rate=%.3f", on ? "on" : "off",
-                  c_asf_rate);
-    options.set_header(std::string(kOverloadHeader), value);
-    auto msg = std::move(options).finish();
+    // Fault-ablation knob: shed a deterministic fraction of advertisements
+    // before they reach the wire (error diffusion, no RNG draw).
+    if (config_.overload_signal_loss > 0.0) {
+      signal_loss_acc_ += config_.overload_signal_loss;
+      if (signal_loss_acc_ >= 1.0) {
+        signal_loss_acc_ -= 1.0;
+        ++stats_.overload_signals_dropped;
+        continue;
+      }
+    }
+    auto msg = make_overload_options(kOverloadHeader, value);
     // Control sends bypass admission: signalling must survive saturation.
     cpu_.submit_urgent(CpuCostModel::generate_error().total(), nullptr);
     send_charged(upstream, msg);
     ++stats_.overload_signals_sent;
   }
+}
+
+void ProxyServer::send_overload_status(Address to) {
+  char value[48];
+  std::snprintf(value, sizeof(value), "%s;rate=%.3f",
+                last_overload_on_ ? "on" : "off", last_overload_rate_);
+  auto msg = make_overload_options(kOverloadHeader, value);
+  cpu_.submit_urgent(CpuCostModel::generate_error().total(), nullptr);
+  send_charged(to, msg);
+  ++stats_.overload_signals_sent;
+}
+
+void ProxyServer::send_overload_probe(std::size_t path_index) {
+  if (path_index >= routes_.paths().size()) return;
+  const PathInfo& path = routes_.paths()[path_index];
+  if (!path.delegable) return;
+  if (const obs::Sinks& obs = sim_.obs(); obs.tracer != nullptr) {
+    obs.tracer->instant("overload_probe_sent", "overload", sim_.now(),
+                        config_.address.value(), "path",
+                        static_cast<double>(path_index));
+  }
+  auto msg = make_overload_options(kOverloadProbeHeader, "request");
+  cpu_.submit_urgent(CpuCostModel::generate_error().total(), nullptr);
+  send_charged(path.next_hop, msg);
+  ++stats_.overload_probes_sent;
 }
 
 std::optional<ProxyServer::LocalTarget> ProxyServer::resolve_local_target(

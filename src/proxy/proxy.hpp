@@ -52,6 +52,11 @@ inline constexpr std::string_view kStatefulMarkHeader = "X-Stateful";
 /// Value: "on;rate=<cps>" or "off;rate=0".
 inline constexpr std::string_view kOverloadHeader = "X-Overload";
 
+/// Header asking a neighbor to restate its current overload status. The
+/// reply is a normal X-Overload OPTIONS sent straight back to the prober,
+/// repairing lost "on"/"off" advertisements.
+inline constexpr std::string_view kOverloadProbeHeader = "X-Overload-Probe";
+
 struct ProxyConfig {
   std::string host;
   Address address;
@@ -76,6 +81,11 @@ struct ProxyConfig {
   std::string auth_realm;
   std::string auth_nonce;
   txn::TimerConfig timers;
+  /// Fraction of outgoing overload *advertisements* silently dropped before
+  /// they reach the wire, realized deterministically by error diffusion
+  /// (fault-ablation knob; probes and probe replies are never dropped here
+  /// so they stay available as the repair channel).
+  double overload_signal_loss = 0.0;
 };
 
 struct ProxyStats {
@@ -94,6 +104,14 @@ struct ProxyStats {
   std::uint64_t registrations = 0;       // REGISTER bindings accepted
   std::uint64_t overload_signals_sent = 0;
   std::uint64_t overload_signals_received = 0;
+  std::uint64_t overload_signals_dropped = 0;  // shed by overload_signal_loss
+  std::uint64_t overload_probes_sent = 0;
+  std::uint64_t overload_probes_received = 0;
+  /// Stateful decisions taken on traffic already marked stateful upstream.
+  /// Legitimate under static all-stateful; must stay 0 under SERvartuka
+  /// (Algorithm 1 forwards marked traffic statelessly) — the chaos
+  /// harness's exactly-one-stateful invariant.
+  std::uint64_t double_stateful = 0;
 };
 
 class ProxyServer {
@@ -116,6 +134,7 @@ class ProxyServer {
   }
   [[nodiscard]] profile::CpuProfiler& profiler() { return profiler_; }
   [[nodiscard]] const sim::CpuQueue& cpu() const { return cpu_; }
+  [[nodiscard]] sim::CpuQueue& cpu() { return cpu_; }
   [[nodiscard]] StatePolicy& policy() { return *policy_; }
   [[nodiscard]] DigestAuthenticator& authenticator() { return auth_; }
   [[nodiscard]] const ProxyConfig& config() const { return config_; }
@@ -173,6 +192,12 @@ class ProxyServer {
   [[nodiscard]] profile::HandlingMode mode_for(StateDecision decision) const;
   [[nodiscard]] bool is_control(const sip::Message& msg) const;
   void send_overload_signal(bool on, double c_asf_rate);
+  /// Sends an X-Overload-Probe OPTIONS to the next hop of `path_index`.
+  void send_overload_probe(std::size_t path_index);
+  /// Answers a probe: restates our current overload status to `to`.
+  void send_overload_status(Address to);
+  [[nodiscard]] sip::MessagePtr make_overload_options(
+      std::string_view header, const std::string& value);
   void charge(const profile::CostVector& cost) { profiler_.charge(cost); }
 
   sim::Simulator& sim_;
@@ -200,6 +225,11 @@ class ProxyServer {
       invite_relays_;
   std::vector<Address> upstream_proxies_;
   std::uint64_t overload_signal_seq_{0};
+  /// Error-diffusion accumulator realizing overload_signal_loss.
+  double signal_loss_acc_{0.0};
+  /// Last advertised overload status, restated when a probe arrives.
+  bool last_overload_on_{false};
+  double last_overload_rate_{0.0};
   ProxyStats stats_;
 };
 

@@ -37,7 +37,8 @@ void CpuQueue::enqueue(double cost, Completion done) {
   assert(cost >= 0.0);
   ++stats_.admitted;
   stats_.total_cost += cost;
-  const SimTime service = SimTime::seconds(cost / config_.capacity);
+  const SimTime service =
+      SimTime::seconds(cost / (config_.capacity * capacity_factor_));
   const SimTime start = std::max(busy_until_, sim_.now());
   busy_until_ = start + service;
   total_service_ += service;

@@ -8,6 +8,7 @@
 // internal queues fill).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 
@@ -57,6 +58,16 @@ class CpuQueue {
   [[nodiscard]] const CpuStats& stats() const { return stats_; }
   [[nodiscard]] double capacity() const { return config_.capacity; }
 
+  /// Fault injection: scales the effective capacity (1.0 = nominal, 0.5 =
+  /// half speed). Applies to work submitted after the change; already
+  /// scheduled service is not re-timed (the slice in flight finishes at its
+  /// old speed, matching a frequency change taking effect between jobs).
+  void set_capacity_factor(double factor) {
+    assert(factor > 0.0);
+    capacity_factor_ = factor;
+  }
+  [[nodiscard]] double capacity_factor() const { return capacity_factor_; }
+
   /// Node id used for trace events (the owning proxy's address); 0 until
   /// set. Tracing reads the simulator's observability sinks.
   void set_trace_tid(std::uint32_t tid) { trace_tid_ = tid; }
@@ -66,6 +77,7 @@ class CpuQueue {
 
   Simulator& sim_;
   CpuQueueConfig config_;
+  double capacity_factor_{1.0};  // fault-injected degradation multiplier
   SimTime busy_until_;        // when the last admitted work completes
   SimTime total_service_;     // sum of all admitted service times
   CpuStats stats_;

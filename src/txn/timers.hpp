@@ -12,9 +12,16 @@ struct TimerConfig {
   SimTime t1 = SimTime::millis(500);  // RTT estimate
   SimTime t2 = SimTime::seconds(4);   // retransmit cap for non-INVITE
   SimTime t4 = SimTime::seconds(5);   // max message lifetime in the network
+  /// Timer C (RFC 3261 16.6 step 11): how long an INVITE client
+  /// transaction may sit in Proceeding after a provisional before it is
+  /// timed out. Without it, a peer that answers 180 and then dies leaks
+  /// the transaction forever (a bug the chaos harness catches). The RFC
+  /// requires > 3 minutes; OpenSER's fr_inv_timer serves the same role.
+  SimTime proceeding_timeout = SimTime::seconds(180);
 
   [[nodiscard]] SimTime timer_a() const { return t1; }        // INVITE rtx
   [[nodiscard]] SimTime timer_b() const { return 64 * t1; }   // INVITE timeout
+  [[nodiscard]] SimTime timer_c() const { return proceeding_timeout; }
   [[nodiscard]] SimTime timer_d() const {                     // wait rtx resp
     return SimTime::seconds(32);
   }

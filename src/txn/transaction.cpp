@@ -55,17 +55,21 @@ void ClientTransaction::start() {
   arm_retransmit(rtx_interval_);
   const SimTime timeout =
       is_invite_ ? timers_.timer_b() : timers_.timer_f();
-  timeout_timer_ = sim_.schedule(timeout, [this] {
-    timeout_timer_ = 0;
-    const bool may_timeout =
-        state_ == ClientState::kCalling || state_ == ClientState::kTrying ||
-        (!is_invite_ && state_ == ClientState::kProceeding);
-    if (!may_timeout) return;
-    state_ = ClientState::kTerminated;
-    cancel_timers();
-    if (callbacks_.on_timeout) callbacks_.on_timeout();
-    if (callbacks_.on_terminated) callbacks_.on_terminated();
-  });
+  timeout_timer_ = sim_.schedule(timeout, [this] { fire_timeout(); });
+}
+
+void ClientTransaction::fire_timeout() {
+  timeout_timer_ = 0;
+  // Calling/Trying: timer B/F. Proceeding: timer C (INVITE, armed per
+  // provisional) or F (non-INVITE, armed at start).
+  const bool may_timeout =
+      state_ == ClientState::kCalling || state_ == ClientState::kTrying ||
+      state_ == ClientState::kProceeding;
+  if (!may_timeout) return;
+  state_ = ClientState::kTerminated;
+  cancel_timers();
+  if (callbacks_.on_timeout) callbacks_.on_timeout();
+  if (callbacks_.on_terminated) callbacks_.on_terminated();
 }
 
 void ClientTransaction::arm_retransmit(SimTime interval) {
@@ -128,9 +132,16 @@ void ClientTransaction::receive_response(const sip::MessagePtr& response) {
           if (is_invite_) {
             // INVITE: provisional stops request retransmission and timer B.
             sim_.cancel(rtx_timer_);
-            sim_.cancel(timeout_timer_);
-            rtx_timer_ = timeout_timer_ = 0;
+            rtx_timer_ = 0;
           }
+        }
+        if (is_invite_) {
+          // Timer C replaces timer B: the transaction may not sit in
+          // Proceeding forever waiting on a peer that died after its 1xx.
+          // Refreshed on every provisional (RFC 3261 16.7 step 2).
+          sim_.cancel(timeout_timer_);
+          timeout_timer_ =
+              sim_.schedule(timers_.timer_c(), [this] { fire_timeout(); });
         }
         if (callbacks_.on_response) callbacks_.on_response(response);
         return;

@@ -73,6 +73,7 @@ class ClientTransaction {
   void enter_completed_invite(const sip::MessagePtr& response);
   void send_ack_for(const sip::MessagePtr& response);
   void arm_retransmit(SimTime interval);
+  void fire_timeout();
   void terminate();
   void cancel_timers();
 

@@ -33,6 +33,10 @@ struct UasMetrics {
   std::uint64_t byes_received = 0;
   std::uint64_t cancels_received = 0;   // CANCEL caught the call ringing
   std::uint64_t retransmitted_200 = 0;
+  /// INVITEs that arrived without the X-Stateful mark, i.e. no proxy on the
+  /// path took transaction state. Must stay 0 under any policy that
+  /// guarantees at-least-one-stateful (the chaos-harness safety invariant).
+  std::uint64_t unmarked_invites = 0;
 };
 
 }  // namespace svk::workload

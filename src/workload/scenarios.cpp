@@ -68,6 +68,7 @@ proxy::ProxyConfig proxy_config(const ScenarioOptions& options,
   config.stateful_mode = options.stateful_mode;
   config.stateless_mode = options.stateless_mode;
   config.authenticate = authenticate;
+  config.overload_signal_loss = options.overload_signal_loss;
   if (options.distribute_auth) {
     config.auth_scope = proxy::ProxyConfig::AuthScope::kWhenStateful;
     config.auth_realm = std::string(kSharedRealm);
@@ -176,6 +177,7 @@ BedFactory series_chain(int num_proxies, ScenarioOptions options) {
     add_uas_farm(*bed, options, kCalleeDomain);
     add_uac_group(*bed, options, "main", addrs[0], kCalleeDomain,
                   offered_cps, hosts[0], "nonce-" + hosts[0]);
+    bed->install_faults(options.faults);
     return bed;
   };
 }
@@ -217,6 +219,7 @@ BedFactory two_series_with_internal(double external_fraction,
     add_uac_group(*bed, options, "int", addr0, kInternalDomain,
                   offered_cps * (1.0 - external_fraction), host0,
                   "nonce-" + host0);
+    bed->install_faults(options.faults);
     return bed;
   };
 }
@@ -263,6 +266,7 @@ BedFactory parallel_fork(ScenarioOptions options, double split_to_upper) {
     add_uas_farm(*bed, options, kCalleeDomain);
     add_uac_group(*bed, options, "main", addr0, kCalleeDomain, offered_cps,
                   host0, "nonce-" + host0);
+    bed->install_faults(options.faults);
     return bed;
   };
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "fault/fault_plan.hpp"
 #include "profile/cost_model.hpp"
 #include "workload/runner.hpp"
 
@@ -64,6 +65,15 @@ struct ScenarioOptions {
   /// Optional hook to adjust the SERvartuka controller configuration
   /// (ablations: disable smoothing, feedback, change headroom, ...).
   std::function<void(core::ControllerConfig&)> controller_tweak;
+
+  /// Fault schedule armed against every bed the factory builds (empty =
+  /// fault-free run). Host names must match the topology's
+  /// ("proxy0.example.net", "uas0.callee.example.net", ...).
+  fault::FaultPlan faults;
+
+  /// Deterministic fraction of overload advertisements each proxy sheds
+  /// before sending (fault-ablation axis; see ProxyConfig).
+  double overload_signal_loss = 0.0;
 
   std::uint64_t seed = 1;
 };

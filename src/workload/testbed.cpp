@@ -72,6 +72,24 @@ void TestBed::register_users(const std::string& domain, int count,
   }
 }
 
+void TestBed::install_faults(const fault::FaultPlan& plan) {
+  if (plan.empty()) return;
+  injector_ = std::make_unique<fault::FaultInjector>(sim_, network_.faults());
+  for (const auto& [addr, host] : host_names_) {
+    std::function<void(double)> set_cpu_factor;
+    for (auto& proxy : proxies_) {
+      if (proxy->config().host == host) {
+        set_cpu_factor = [cpu = &proxy->cpu()](double factor) {
+          cpu->set_capacity_factor(factor);
+        };
+        break;
+      }
+    }
+    injector_->add_host(host, Address{addr}, std::move(set_cpu_factor));
+  }
+  injector_->arm(plan);
+}
+
 void TestBed::start_load() {
   for (auto& uac : uacs_) uac->start();
 }

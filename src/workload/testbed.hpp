@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/injector.hpp"
 #include "obs/observability.hpp"
 #include "proxy/host_registry.hpp"
 #include "proxy/location.hpp"
@@ -81,6 +82,17 @@ class TestBed {
   /// Null when observability was never enabled.
   [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
 
+  /// Arms a fault plan against this bed: every declared host becomes a
+  /// valid fault target (proxies additionally expose their CPU for
+  /// cpu_degrade events). Call after all elements are added and before the
+  /// simulation runs; a no-op for an empty plan.
+  void install_faults(const fault::FaultPlan& plan);
+
+  /// Null when no plan was installed.
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+
  private:
   sim::Simulator sim_;
   Rng rng_;
@@ -91,6 +103,7 @@ class TestBed {
   /// (address, host) pairs in declaration order, for trace thread names.
   std::vector<std::pair<std::uint32_t, std::string>> host_names_;
   std::unique_ptr<obs::Observability> obs_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<proxy::ProxyServer>> proxies_;
   std::vector<std::unique_ptr<Uac>> uacs_;
   std::vector<std::unique_ptr<Uas>> uases_;

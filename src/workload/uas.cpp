@@ -65,6 +65,9 @@ void Uas::handle_invite(Address from, const sip::MessagePtr& msg) {
   }
 
   ++metrics_.invites_received;
+  if (!msg->header(proxy::kStatefulMarkHeader)) {
+    ++metrics_.unmarked_invites;
+  }
   auto& server_txn = txns_.create_server(
       msg,
       [this, from](const sip::MessagePtr& m) {

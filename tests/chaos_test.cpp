@@ -1,0 +1,265 @@
+// Chaos/property harness: seeded random fault schedules against full
+// topologies running the SERvartuka controller, checking the invariants
+// that must survive any fault sequence:
+//
+//   * safety      — every INVITE that reaches a UAS was taken stateful by
+//                   exactly one proxy (no unmarked INVITEs, no
+//                   double-stateful decisions under Algorithm 1);
+//   * leak-freedom— after load stops and SIP timers drain, no proxy holds
+//                   a live transaction or dialog;
+//   * sanity      — controller outputs stay in range in every audit window
+//                   (sf_fraction in [0,1], nonnegative shares);
+//   * recovery    — once the last fault heals, calls complete again and
+//                   every frozen path is released within a bounded number
+//                   of controller windows;
+//   * determinism — the same seed and plan reproduce a bit-identical
+//                   RunRecord.
+//
+// Seed count comes from SVK_CHAOS_SEEDS (default 10). When a seed fails,
+// its FaultPlan and a run summary are written to SVK_CHAOS_ARTIFACT_DIR
+// (default: the test temp dir) for replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "fault/fault_plan.hpp"
+#include "generators.hpp"
+#include "obs/audit.hpp"
+#include "workload/runner.hpp"
+#include "workload/scenarios.hpp"
+
+namespace svk {
+namespace {
+
+/// Every generated fault, including its revert, settles by this time.
+constexpr double kFaultWindowEnd = 8.0;
+/// Frozen paths must be released within this budget after the last heal:
+/// staleness timeout (6 windows) + probe/hysteresis slack, at the 0.5 s
+/// controller period used below.
+constexpr double kReconvergeBudgetS = 6.5;
+
+std::uint64_t seed_count() {
+  if (const char* env = std::getenv("SVK_CHAOS_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<std::uint64_t>(n);
+  }
+  return 10;
+}
+
+workload::ScenarioOptions base_options(std::uint64_t seed,
+                                       std::size_t num_proxies) {
+  workload::ScenarioOptions options;
+  options.policy = workload::PolicyKind::kServartuka;
+  // Scaled-down nodes keep runs fast: t_sf ~103.6 cps, t_sl ~123 cps.
+  options.capacity_scale.assign(num_proxies, 0.01);
+  options.controller_period = SimTime::seconds(0.5);
+  options.seed = seed;
+  return options;
+}
+
+struct ChaosSetup {
+  workload::BedFactory factory;
+  fault::FaultPlan plan;
+  /// Above the scaled T_SF (~103.6) so the controller must delegate, below
+  /// T_SL so the fault-free system is sustainable — any persistent overload
+  /// at the end of a run is controller wedge, not offered load.
+  double offered = 115.0;
+};
+
+ChaosSetup make_two_series(std::uint64_t seed) {
+  chaos::FaultScheduleOptions fopt;
+  fopt.crashable = {"proxy1.example.net"};
+  fopt.degradable = {"proxy0.example.net", "proxy1.example.net"};
+  fopt.links = {{"proxy0.example.net", "proxy1.example.net"}};
+  fopt.window_end_s = kFaultWindowEnd;
+
+  auto options = base_options(seed, 2);
+  options.faults = chaos::generate_fault_schedule(seed, fopt);
+
+  ChaosSetup setup;
+  setup.plan = options.faults;
+  setup.factory = workload::two_series_with_internal(0.7, options);
+  return setup;
+}
+
+ChaosSetup make_parallel_fork(std::uint64_t seed) {
+  chaos::FaultScheduleOptions fopt;
+  fopt.crashable = {"proxya.example.net", "proxyb.example.net"};
+  fopt.degradable = {"proxy0.example.net", "proxya.example.net",
+                     "proxyb.example.net"};
+  fopt.links = {{"proxy0.example.net", "proxya.example.net"},
+                {"proxy0.example.net", "proxyb.example.net"}};
+  fopt.window_end_s = kFaultWindowEnd;
+
+  auto options = base_options(seed, 3);
+  // Offset the fork's schedule stream from two-series' for the same seed.
+  options.faults = chaos::generate_fault_schedule(seed + 1000, fopt);
+
+  ChaosSetup setup;
+  setup.plan = options.faults;
+  setup.factory = workload::parallel_fork(options);
+  return setup;
+}
+
+void dump_artifacts(const std::string& topology, workload::TestBed& bed,
+                    const fault::FaultPlan& plan) {
+  const char* env = std::getenv("SVK_CHAOS_ARTIFACT_DIR");
+  const std::string dir = env != nullptr ? env : testing::TempDir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string base =
+      dir + "/" + topology + "_seed" + std::to_string(plan.seed);
+
+  plan.write_file(base + "_plan.json");
+
+  JsonValue summary = JsonValue::object();
+  summary["topology"] = topology;
+  summary["seed"] = plan.seed;
+  summary["completed_calls"] = bed.total_completed_calls();
+  summary["attempted_calls"] = bed.total_attempted_calls();
+  JsonValue& proxies = summary["proxies"];
+  proxies = JsonValue::array();
+  for (const auto& proxy : bed.proxies()) {
+    JsonValue row = JsonValue::object();
+    row["host"] = proxy->config().host;
+    row["active_transactions"] =
+        static_cast<std::uint64_t>(proxy->transactions().active_count());
+    row["rejected_busy"] = proxy->stats().rejected_busy;
+    row["double_stateful"] = proxy->stats().double_stateful;
+    proxies.push_back(std::move(row));
+  }
+  if (auto* obs = bed.observability();
+      obs != nullptr && obs->audit() != nullptr) {
+    summary["controller_windows"] =
+        obs::windows_to_json(obs->audit()->snapshot());
+  }
+  summary.write_file(base + "_run.json");
+  std::cerr << "[chaos] failing schedule dumped to " << base
+            << "_{plan,run}.json\n";
+}
+
+void run_chaos_seed(const std::string& topology, const ChaosSetup& setup) {
+  const bool prior_failure = ::testing::Test::HasFailure();
+  SCOPED_TRACE(topology + " seed " + std::to_string(setup.plan.seed));
+
+  auto bed = setup.factory(setup.offered);
+  bed->enable_observability();
+  ASSERT_NE(bed->fault_injector(), nullptr);
+
+  const SimTime heal = SimTime::seconds(kFaultWindowEnd);
+  const SimTime probe = heal + SimTime::seconds(1.0);
+  const SimTime load_end = SimTime::seconds(14.0);
+
+  bed->start_load();
+  bed->sim().run_until(probe);
+  const std::uint64_t completed_at_probe = bed->total_completed_calls();
+  bed->sim().run_until(load_end);
+  const std::uint64_t completed_at_end = bed->total_completed_calls();
+  bed->stop_load();
+  // Longest drain chain: a transaction stuck in Proceeding (peer died
+  // after its 1xx) fires timer C at 180 s, and the resulting 408 final
+  // runs its own completion timers (D/H, 32 s). Simulated idle time is
+  // nearly free, so the generous bound costs little wall clock.
+  bed->sim().run_until(load_end + SimTime::seconds(220.0));
+
+  // The plan referenced only real hosts and actually ran.
+  EXPECT_TRUE(bed->fault_injector()->errors().empty());
+  EXPECT_GT(bed->fault_injector()->applied(), 0u);
+
+  // Recovery (liveness): once every fault healed, calls complete again.
+  EXPECT_GT(completed_at_end, completed_at_probe)
+      << "no calls completed after the last fault healed";
+
+  // Safety: every delivered INVITE was taken stateful exactly once.
+  for (const auto& uas : bed->uases()) {
+    EXPECT_EQ(uas->metrics().unmarked_invites, 0u) << uas->config().host;
+  }
+  for (const auto& proxy : bed->proxies()) {
+    EXPECT_EQ(proxy->stats().double_stateful, 0u) << proxy->config().host;
+  }
+
+  // Leak-freedom: after the drain no proxy holds live state.
+  for (const auto& proxy : bed->proxies()) {
+    EXPECT_EQ(proxy->transactions().active_count(), 0u)
+        << proxy->config().host;
+    EXPECT_EQ(proxy->dialogs().active_count(), 0u) << proxy->config().host;
+  }
+
+  // Controller sanity + bounded re-convergence, from the audit log.
+  ASSERT_NE(bed->observability()->audit(), nullptr);
+  const auto windows = bed->observability()->audit()->snapshot();
+  EXPECT_FALSE(windows.empty());
+  SimTime last_overloaded;
+  for (const auto& window : windows) {
+    for (const auto& row : window.paths) {
+      EXPECT_GE(row.sf_fraction, 0.0);
+      EXPECT_LE(row.sf_fraction, 1.0);
+      EXPECT_GE(row.frozen_c_asf, 0.0);
+      if (std::isfinite(row.myshare)) {
+        EXPECT_GE(row.myshare, 0.0);
+      }
+      if (row.overloaded) {
+        last_overloaded = std::max(last_overloaded, window.at);
+      }
+    }
+  }
+  EXPECT_LE(last_overloaded, heal + SimTime::seconds(kReconvergeBudgetS))
+      << "a path stayed frozen past the re-convergence budget";
+
+  if (!prior_failure && ::testing::Test::HasFailure()) {
+    dump_artifacts(topology, *bed, setup.plan);
+  }
+}
+
+TEST(ChaosTest, TwoSeriesSchedulesHoldInvariants) {
+  const std::uint64_t seeds = seed_count();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    run_chaos_seed("two_series", make_two_series(seed));
+  }
+}
+
+TEST(ChaosTest, ParallelForkSchedulesHoldInvariants) {
+  const std::uint64_t seeds = seed_count();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    run_chaos_seed("parallel_fork", make_parallel_fork(seed));
+  }
+}
+
+TEST(ChaosTest, ReplaySameSeedIsBitIdentical) {
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{7}}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ChaosSetup setup = make_two_series(seed);
+    const auto a = workload::measure_point(setup.factory, setup.offered);
+    const auto b = workload::measure_point(setup.factory, setup.offered);
+    RunRecord ra = workload::to_run_record(a, 1.0, "chaos");
+    RunRecord rb = workload::to_run_record(b, 1.0, "chaos");
+    // Wall-clock time is host noise, not simulation output.
+    ra.wall_seconds = 0.0;
+    rb.wall_seconds = 0.0;
+    EXPECT_EQ(ra.to_json().dump(), rb.to_json().dump());
+  }
+}
+
+TEST(ChaosTest, GeneratedPlansAreReproducibleAndBounded) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const fault::FaultPlan a = make_two_series(seed).plan;
+    const fault::FaultPlan b = make_two_series(seed).plan;
+    EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+    EXPECT_EQ(a.seed, seed);
+    EXPECT_FALSE(a.empty());
+    EXPECT_LE(a.end_time(), SimTime::seconds(kFaultWindowEnd));
+    for (const auto& event : a.events) {
+      EXPECT_GE(event.at, SimTime::seconds(2.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svk

@@ -192,8 +192,10 @@ TEST(ControllerTest, OverloadSignalCarriesSubtreeCapacity) {
   EXPECT_NEAR(sent_rate, 80.0, 1e-6);
 }
 
-TEST(ControllerTest, OverloadSignalSentOnceNotRepeatedly) {
-  Controller controller(small_config());
+TEST(ControllerTest, OverloadSignalSentOnceWithoutReadvertisement) {
+  ControllerConfig config = small_config();
+  config.readvertise_period_windows = 0;  // periodic refresh disabled
+  Controller controller(config);
   controller.register_paths({PathInfo{false, Address{}}});
   int signals = 0;
   controller.send_overload = [&](bool, double) { ++signals; };
@@ -201,6 +203,24 @@ TEST(ControllerTest, OverloadSignalSentOnceNotRepeatedly) {
   run_window(controller, 150, 0, false, 1.0);
   run_window(controller, 150, 0, false, 2.0);
   EXPECT_EQ(signals, 1);
+}
+
+TEST(ControllerTest, SustainedOverloadReadvertisesPeriodically) {
+  // Overload advertisements ride unacknowledged OPTIONS; periodic refresh
+  // is what lets an upstream that missed the "on" converge anyway.
+  ControllerConfig config = small_config();
+  config.readvertise_period_windows = 2;
+  Controller controller(config);
+  controller.register_paths({PathInfo{false, Address{}}});
+  int on_signals = 0;
+  controller.send_overload = [&](bool on, double) {
+    if (on) ++on_signals;
+  };
+  for (int w = 0; w < 7; ++w) {
+    run_window(controller, 150, 0, false, static_cast<double>(w));
+  }
+  // Initial advertisement in window 1, refreshes every 2nd window after.
+  EXPECT_EQ(on_signals, 4);
 }
 
 TEST(ControllerTest, ExitNodeOverloadsWhenRequiredExceedsBudget) {
@@ -568,6 +588,171 @@ TEST(ControllerTest, NegativeShareClampsToZero) {
   for (int i = 0; i < 80; ++i) (void)controller.decide(ctx(1, true, false));
   controller.on_tick(SimTime::seconds(1.0));
   EXPECT_EQ(controller.paths()[1].myshare, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lost-signal tolerance (re-advertisement, staleness timeout, probing)
+// ---------------------------------------------------------------------------
+
+/// No-loss reference: single delegable path at 150 req/s against
+/// small_config converges to myshare = budget = 50.
+constexpr double kNoLossFixpointShare = 50.0;
+
+TEST(ControllerRecoveryTest, WedgeRegressionLostOffSignalWithoutTimeout) {
+  // The pre-fix behavior, pinned as a regression oracle: with staleness
+  // release and probing disabled, a lost "off" leaves frozen_c_asf stuck
+  // and the forced share never reconverges.
+  ControllerConfig config = small_config();
+  config.overload_stale_windows = 0;
+  config.probe_after_windows = 0;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.on_overload_signal(0, true, 30.0);
+  // The downstream recovered and sent "off" — but the signal was lost.
+  for (int w = 0; w < 20; ++w) {
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  EXPECT_TRUE(controller.paths()[0].overloaded);
+  EXPECT_NEAR(controller.paths()[0].frozen_c_asf, 30.0, 1e-12);
+  // Wedged: forced share 150 - 30 = 120, not the no-loss fixpoint 50.
+  EXPECT_NEAR(controller.paths()[0].myshare, 120.0, 1e-6);
+}
+
+TEST(ControllerRecoveryTest, StaleFrozenPathReleasesWithinTimeout) {
+  // Same lost "off", defaults on: the staleness timeout releases the
+  // frozen allowance and myshare reconverges to the no-loss fixpoint.
+  ControllerConfig config = small_config();
+  config.overload_stale_windows = 6;
+  config.probe_after_windows = 0;  // isolate the timeout path
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.on_overload_signal(0, true, 30.0);
+  for (int w = 0; w < 12; ++w) {
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  EXPECT_FALSE(controller.paths()[0].overloaded);
+  EXPECT_EQ(controller.paths()[0].frozen_c_asf, 0.0);
+  EXPECT_EQ(controller.stale_releases(), 1u);
+  EXPECT_NEAR(controller.paths()[0].myshare, kNoLossFixpointShare, 1.0);
+}
+
+TEST(ControllerRecoveryTest, SignalRefreshKeepsFrozenPathAlive) {
+  // A downstream that keeps re-advertising is never reaped: freshness is
+  // reset by every signal, including unchanged refreshes.
+  ControllerConfig config = small_config();
+  config.overload_stale_windows = 3;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.on_overload_signal(0, true, 30.0);
+  for (int w = 0; w < 10; ++w) {
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+    controller.on_overload_signal(0, true, 30.0);  // periodic refresh
+  }
+  EXPECT_TRUE(controller.paths()[0].overloaded);
+  EXPECT_EQ(controller.stale_releases(), 0u);
+}
+
+TEST(ControllerRecoveryTest, ProbesSilentPathWithExponentialBackoff) {
+  ControllerConfig config = small_config();
+  config.probe_after_windows = 3;
+  config.overload_stale_windows = 0;  // probe forever, never reap
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  std::vector<int> probe_windows;
+  int window = 0;
+  controller.send_probe = [&](std::size_t path_index) {
+    EXPECT_EQ(path_index, 0u);
+    probe_windows.push_back(window);
+  };
+  controller.on_overload_signal(0, true, 30.0);
+  for (; window < 16; ++window) {
+    run_window(controller, 150, 0, true, static_cast<double>(window));
+  }
+  // First probe once the signal is probe_after_windows old, then gaps
+  // growing 2, 3, 5, ... (probe + backoff wait).
+  ASSERT_GE(probe_windows.size(), 3u);
+  EXPECT_EQ(controller.probes_requested(), probe_windows.size());
+  for (std::size_t i = 2; i < probe_windows.size(); ++i) {
+    EXPECT_GE(probe_windows[i] - probe_windows[i - 1],
+              probe_windows[i - 1] - probe_windows[i - 2])
+        << "backoff must not shrink";
+  }
+}
+
+TEST(ControllerRecoveryTest, ProbeReplyRepairsLostOffSignal) {
+  // The probe reply restates the downstream's true status ("off"), so the
+  // path unfreezes well before the staleness timeout.
+  ControllerConfig config = small_config();
+  config.probe_after_windows = 2;
+  config.overload_stale_windows = 10;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.send_probe = [&](std::size_t path_index) {
+    // Downstream is healthy; its reply arrives as a normal "off" signal.
+    controller.on_overload_signal(path_index, false, 0.0);
+  };
+  controller.on_overload_signal(0, true, 30.0);
+  int w = 0;
+  for (; w < 10 && controller.paths()[0].overloaded; ++w) {
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  EXPECT_FALSE(controller.paths()[0].overloaded);
+  EXPECT_LT(w, 5) << "probe must repair the path before the stale timeout";
+  EXPECT_EQ(controller.stale_releases(), 0u);
+  // Give the EWMA a few windows, then require the no-loss fixpoint.
+  for (; w < 16; ++w) {
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  EXPECT_NEAR(controller.paths()[0].myshare, kNoLossFixpointShare, 1.0);
+}
+
+TEST(ControllerRecoveryTest, DuplicatedAndDelayedSignalsConverge) {
+  // Duplicate deliveries are idempotent and a late (re-ordered) "on"
+  // arriving after the "off" is repaired by the probe/staleness machinery:
+  // the controller still converges to the no-loss fixpoint.
+  ControllerConfig config = small_config();
+  config.probe_after_windows = 2;
+  config.overload_stale_windows = 6;
+  Controller controller(config);
+  controller.register_paths({PathInfo{true, Address{1}}});
+  controller.send_probe = [&](std::size_t path_index) {
+    controller.on_overload_signal(path_index, false, 0.0);
+  };
+  controller.on_overload_signal(0, true, 30.0);
+  controller.on_overload_signal(0, true, 30.0);  // duplicate "on"
+  controller.on_overload_signal(0, false, 0.0);
+  controller.on_overload_signal(0, false, 0.0);  // duplicate "off"
+  controller.on_overload_signal(0, true, 30.0);  // delayed stale "on"
+  for (int w = 0; w < 16; ++w) {
+    run_window(controller, 150, 0, true, static_cast<double>(w));
+  }
+  EXPECT_FALSE(controller.paths()[0].overloaded);
+  EXPECT_EQ(controller.paths()[0].frozen_c_asf, 0.0);
+  EXPECT_NEAR(controller.paths()[0].myshare, kNoLossFixpointShare, 1.0);
+}
+
+TEST(ControllerRecoveryTest, ReadvertisementRepairsLostOnUpstream) {
+  // Two-controller chain with a lossy control link: the first "on" is
+  // dropped, the periodic re-advertisement gets through, and the upstream
+  // converges to the same frozen state as with a lossless link.
+  ControllerConfig config = small_config();
+  config.readvertise_period_windows = 2;
+  Controller downstream(config);
+  downstream.register_paths({PathInfo{false, Address{}}});
+  Controller upstream(config);
+  upstream.register_paths({PathInfo{true, Address{2}}});
+  int deliveries = 0;
+  downstream.send_overload = [&](bool on, double rate) {
+    if (++deliveries == 1) return;  // the initial "on" is lost
+    upstream.on_overload_signal(0, on, rate);
+  };
+  for (int w = 0; w < 4; ++w) {
+    run_window(downstream, 150, 0, false, static_cast<double>(w));
+  }
+  ASSERT_TRUE(downstream.self_overloaded());
+  ASSERT_GE(deliveries, 2);
+  EXPECT_TRUE(upstream.paths()[0].overloaded);
+  EXPECT_NEAR(upstream.paths()[0].frozen_c_asf, 50.0, 1e-6);
 }
 
 }  // namespace

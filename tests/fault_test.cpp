@@ -1,0 +1,411 @@
+// Unit tests for the fault-injection subsystem: FaultPlan JSON round-trips
+// and validation, and FaultInjector execution against the network fault
+// overlay (apply/revert timing, partitions, CPU hooks, error recording).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace svk::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan JSON
+// ---------------------------------------------------------------------------
+
+FaultPlan sample_plan() {
+  FaultPlan plan;
+  plan.name = "sample";
+  plan.seed = 42;
+
+  FaultEvent crash;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.at = SimTime::seconds(1.0);
+  crash.duration = SimTime::seconds(2.5);
+  crash.host = "proxy1.example.net";
+  plan.events.push_back(crash);
+
+  FaultEvent link;
+  link.kind = FaultKind::kLinkDown;
+  link.at = SimTime::seconds(3.0);
+  link.host = "proxy0.example.net";
+  link.peer = "proxy1.example.net";
+  link.bidirectional = false;
+  plan.events.push_back(link);
+
+  FaultEvent partition;
+  partition.kind = FaultKind::kPartition;
+  partition.at = SimTime::seconds(4.0);
+  partition.duration = SimTime::seconds(1.0);
+  partition.group = {"proxy1.example.net", "uas0.callee.example.net"};
+  plan.events.push_back(partition);
+
+  FaultEvent loss;
+  loss.kind = FaultKind::kLossBurst;
+  loss.at = SimTime::seconds(5.0);
+  loss.duration = SimTime::seconds(2.0);
+  loss.value = 0.25;
+  plan.events.push_back(loss);
+
+  FaultEvent latency;
+  latency.kind = FaultKind::kLatencyBurst;
+  latency.at = SimTime::seconds(6.0);
+  latency.duration = SimTime::seconds(1.0);
+  latency.host = "proxy0.example.net";
+  latency.peer = "proxy1.example.net";
+  latency.extra_latency = SimTime::millis(30);
+  plan.events.push_back(latency);
+
+  FaultEvent degrade;
+  degrade.kind = FaultKind::kCpuDegrade;
+  degrade.at = SimTime::seconds(7.0);
+  degrade.duration = SimTime::seconds(3.0);
+  degrade.host = "proxy1.example.net";
+  degrade.value = 0.5;
+  plan.events.push_back(degrade);
+
+  return plan;
+}
+
+TEST(FaultPlanTest, JsonRoundTripPreservesEveryField) {
+  const FaultPlan plan = sample_plan();
+  std::string error;
+  const auto parsed = FaultPlan::from_json(plan.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  EXPECT_EQ(parsed->name, plan.name);
+  EXPECT_EQ(parsed->seed, plan.seed);
+  ASSERT_EQ(parsed->events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& want = plan.events[i];
+    const FaultEvent& got = parsed->events[i];
+    EXPECT_EQ(got.kind, want.kind) << "event " << i;
+    EXPECT_EQ(got.at, want.at) << "event " << i;
+    EXPECT_EQ(got.duration, want.duration) << "event " << i;
+    EXPECT_EQ(got.host, want.host) << "event " << i;
+    EXPECT_EQ(got.peer, want.peer) << "event " << i;
+    EXPECT_EQ(got.group, want.group) << "event " << i;
+    EXPECT_DOUBLE_EQ(got.value, want.value) << "event " << i;
+    EXPECT_EQ(got.extra_latency, want.extra_latency) << "event " << i;
+    EXPECT_EQ(got.bidirectional, want.bidirectional) << "event " << i;
+  }
+}
+
+TEST(FaultPlanTest, TextRoundTripThroughParser) {
+  const FaultPlan plan = sample_plan();
+  const std::string text = plan.to_json().dump(2);
+  std::string error;
+  const auto json = JsonValue::parse(text, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  const auto parsed = FaultPlan::from_json(*json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  // Serializing the reparsed plan must reproduce the text bit-for-bit —
+  // that is what makes chaos replay artifacts trustworthy.
+  EXPECT_EQ(parsed->to_json().dump(2), text);
+}
+
+TEST(FaultPlanTest, FileRoundTrip) {
+  const FaultPlan plan = sample_plan();
+  const std::string path = testing::TempDir() + "/fault_plan_roundtrip.json";
+  ASSERT_TRUE(plan.write_file(path));
+  std::string error;
+  const auto loaded = FaultPlan::load_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->events.size(), plan.events.size());
+  EXPECT_EQ(loaded->to_json().dump(), plan.to_json().dump());
+}
+
+TEST(FaultPlanTest, LoadFileReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(
+      FaultPlan::load_file("/nonexistent/fault_plan.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultPlanTest, RejectsPlanWithoutEventsArray) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::from_json(*JsonValue::parse("{}"), &error));
+  EXPECT_NE(error.find("events"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::from_json(*JsonValue::parse("[]"), &error));
+}
+
+TEST(FaultPlanTest, RejectsUnknownKind) {
+  const auto json = JsonValue::parse(
+      R"({"events": [{"kind": "meteor_strike", "at_s": 1}]})");
+  std::string error;
+  EXPECT_FALSE(FaultPlan::from_json(*json, &error));
+  EXPECT_NE(error.find("meteor_strike"), std::string::npos);
+}
+
+TEST(FaultPlanTest, RejectsEventWithoutTime) {
+  const auto json = JsonValue::parse(
+      R"({"events": [{"kind": "node_crash", "host": "a"}]})");
+  std::string error;
+  EXPECT_FALSE(FaultPlan::from_json(*json, &error));
+  EXPECT_NE(error.find("at_s"), std::string::npos);
+}
+
+TEST(FaultPlanTest, RejectsCrashWithoutHost) {
+  const auto json = JsonValue::parse(
+      R"({"events": [{"kind": "node_crash", "at_s": 1}]})");
+  EXPECT_FALSE(FaultPlan::from_json(*json));
+}
+
+TEST(FaultPlanTest, RejectsLossOutOfRange) {
+  const auto json = JsonValue::parse(
+      R"({"events": [{"kind": "loss_burst", "at_s": 1, "loss": 1.5}]})");
+  std::string error;
+  EXPECT_FALSE(FaultPlan::from_json(*json, &error));
+  EXPECT_NE(error.find("loss"), std::string::npos);
+}
+
+TEST(FaultPlanTest, RejectsNonPositiveCpuFactor) {
+  const auto json = JsonValue::parse(
+      R"({"events": [{"kind": "cpu_degrade", "at_s": 1, "host": "a",
+                      "factor": 0}]})");
+  EXPECT_FALSE(FaultPlan::from_json(*json));
+}
+
+TEST(FaultPlanTest, EndTimeCoversLastRevert) {
+  EXPECT_EQ(FaultPlan{}.end_time(), SimTime{});
+  const FaultPlan plan = sample_plan();
+  // cpu_degrade at 7 s for 3 s is the last to settle.
+  EXPECT_EQ(plan.end_time(), SimTime::seconds(10.0));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector execution
+// ---------------------------------------------------------------------------
+
+struct InjectorFixture {
+  sim::Simulator sim;
+  sim::NetworkFaultState net;
+  FaultInjector injector{sim, net};
+  Address a{1};
+  Address b{2};
+  Address c{3};
+
+  InjectorFixture() {
+    injector.add_host("a", a);
+    injector.add_host("b", b);
+    injector.add_host("c", c);
+  }
+};
+
+TEST(FaultInjectorTest, CrashAppliesAndRevertsOnSchedule) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.at = SimTime::seconds(1.0);
+  crash.duration = SimTime::seconds(2.0);
+  crash.host = "a";
+  plan.events.push_back(crash);
+  f.injector.arm(plan);
+
+  EXPECT_FALSE(f.net.host_down(f.a));
+  f.sim.run_until(SimTime::seconds(1.5));
+  EXPECT_TRUE(f.net.host_down(f.a));
+  EXPECT_FALSE(f.net.host_down(f.b));
+  f.sim.run_until(SimTime::seconds(4.0));
+  EXPECT_FALSE(f.net.host_down(f.a));
+  EXPECT_EQ(f.injector.applied(), 2u);  // apply + revert
+  EXPECT_TRUE(f.injector.errors().empty());
+}
+
+TEST(FaultInjectorTest, PermanentCrashNeverReverts) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.at = SimTime::seconds(1.0);
+  crash.host = "b";  // duration 0 = forever
+  plan.events.push_back(crash);
+  f.injector.arm(plan);
+
+  f.sim.run();
+  EXPECT_TRUE(f.net.host_down(f.b));
+  EXPECT_EQ(f.injector.applied(), 1u);
+}
+
+TEST(FaultInjectorTest, DirectedLinkDownAffectsOneDirection) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent link;
+  link.kind = FaultKind::kLinkDown;
+  link.at = SimTime::seconds(1.0);
+  link.duration = SimTime::seconds(1.0);
+  link.host = "a";
+  link.peer = "b";
+  link.bidirectional = false;
+  plan.events.push_back(link);
+  f.injector.arm(plan);
+
+  f.sim.run_until(SimTime::seconds(1.5));
+  EXPECT_TRUE(f.net.link_down(f.a, f.b));
+  EXPECT_FALSE(f.net.link_down(f.b, f.a));
+  f.sim.run();
+  EXPECT_FALSE(f.net.link_down(f.a, f.b));
+}
+
+TEST(FaultInjectorTest, BidirectionalLinkDownAffectsBothDirections) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent link;
+  link.kind = FaultKind::kLinkDown;
+  link.at = SimTime::seconds(1.0);
+  link.duration = SimTime::seconds(1.0);
+  link.host = "a";
+  link.peer = "b";
+  plan.events.push_back(link);
+  f.injector.arm(plan);
+
+  f.sim.run_until(SimTime::seconds(1.5));
+  EXPECT_TRUE(f.net.link_down(f.a, f.b));
+  EXPECT_TRUE(f.net.link_down(f.b, f.a));
+  f.sim.run();
+  EXPECT_FALSE(f.net.link_down(f.a, f.b));
+  EXPECT_FALSE(f.net.link_down(f.b, f.a));
+}
+
+TEST(FaultInjectorTest, PartitionCutsGroupFromOthersNotWithin) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent part;
+  part.kind = FaultKind::kPartition;
+  part.at = SimTime::seconds(1.0);
+  part.duration = SimTime::seconds(1.0);
+  part.group = {"a", "b"};
+  plan.events.push_back(part);
+  f.injector.arm(plan);
+
+  f.sim.run_until(SimTime::seconds(1.5));
+  // {a, b} isolated from c, both directions.
+  EXPECT_TRUE(f.net.link_down(f.a, f.c));
+  EXPECT_TRUE(f.net.link_down(f.c, f.a));
+  EXPECT_TRUE(f.net.link_down(f.b, f.c));
+  EXPECT_TRUE(f.net.link_down(f.c, f.b));
+  // Links inside the partition stay up.
+  EXPECT_FALSE(f.net.link_down(f.a, f.b));
+  EXPECT_FALSE(f.net.link_down(f.b, f.a));
+
+  f.sim.run();
+  EXPECT_FALSE(f.net.any());
+}
+
+TEST(FaultInjectorTest, NetworkWideLossBurstInstallsWildcard) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent loss;
+  loss.kind = FaultKind::kLossBurst;
+  loss.at = SimTime::seconds(1.0);
+  loss.duration = SimTime::seconds(1.0);
+  loss.value = 0.4;  // host/peer empty = every link
+  plan.events.push_back(loss);
+  f.injector.arm(plan);
+
+  f.sim.run_until(SimTime::seconds(1.5));
+  const auto* d = f.net.disturbance(f.a, f.c);
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->extra_loss, 0.4);
+  EXPECT_EQ(d->extra_latency, SimTime{});
+  f.sim.run();
+  EXPECT_EQ(f.net.disturbance(f.a, f.c), nullptr);
+}
+
+TEST(FaultInjectorTest, LatencyBurstOnPairHitsBothDirections) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent latency;
+  latency.kind = FaultKind::kLatencyBurst;
+  latency.at = SimTime::seconds(1.0);
+  latency.duration = SimTime::seconds(1.0);
+  latency.host = "a";
+  latency.peer = "b";
+  latency.extra_latency = SimTime::millis(25);
+  plan.events.push_back(latency);
+  f.injector.arm(plan);
+
+  f.sim.run_until(SimTime::seconds(1.5));
+  const auto* fwd = f.net.disturbance(f.a, f.b);
+  const auto* rev = f.net.disturbance(f.b, f.a);
+  ASSERT_NE(fwd, nullptr);
+  ASSERT_NE(rev, nullptr);
+  EXPECT_EQ(fwd->extra_latency, SimTime::millis(25));
+  EXPECT_EQ(rev->extra_latency, SimTime::millis(25));
+  // Unrelated links are untouched.
+  EXPECT_EQ(f.net.disturbance(f.a, f.c), nullptr);
+  f.sim.run();
+  EXPECT_FALSE(f.net.any());
+}
+
+TEST(FaultInjectorTest, CpuDegradeDrivesHookAndRestores) {
+  sim::Simulator sim;
+  sim::NetworkFaultState net;
+  FaultInjector injector{sim, net};
+  std::vector<double> factors;
+  injector.add_host("a", Address{1},
+                    [&factors](double factor) { factors.push_back(factor); });
+
+  FaultPlan plan;
+  FaultEvent degrade;
+  degrade.kind = FaultKind::kCpuDegrade;
+  degrade.at = SimTime::seconds(1.0);
+  degrade.duration = SimTime::seconds(2.0);
+  degrade.host = "a";
+  degrade.value = 0.5;
+  plan.events.push_back(degrade);
+  injector.arm(plan);
+
+  sim.run();
+  ASSERT_EQ(factors.size(), 2u);
+  EXPECT_DOUBLE_EQ(factors[0], 0.5);
+  EXPECT_DOUBLE_EQ(factors[1], 1.0);
+  EXPECT_TRUE(injector.errors().empty());
+}
+
+TEST(FaultInjectorTest, UnknownHostIsRecordedNotFatal) {
+  InjectorFixture f;
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.at = SimTime::seconds(1.0);
+  crash.host = "ghost";
+  plan.events.push_back(crash);
+  FaultEvent good;
+  good.kind = FaultKind::kNodeCrash;
+  good.at = SimTime::seconds(2.0);
+  good.host = "a";
+  plan.events.push_back(good);
+  f.injector.arm(plan);
+
+  f.sim.run();
+  ASSERT_EQ(f.injector.errors().size(), 1u);
+  EXPECT_NE(f.injector.errors()[0].find("ghost"), std::string::npos);
+  EXPECT_TRUE(f.net.host_down(f.a));  // the valid event still applied
+}
+
+TEST(FaultInjectorTest, CpuDegradeWithoutHookIsRecorded) {
+  InjectorFixture f;  // hosts declared without CPU hooks
+  FaultPlan plan;
+  FaultEvent degrade;
+  degrade.kind = FaultKind::kCpuDegrade;
+  degrade.at = SimTime::seconds(1.0);
+  degrade.host = "a";
+  degrade.value = 0.5;
+  plan.events.push_back(degrade);
+  f.injector.arm(plan);
+
+  f.sim.run();
+  EXPECT_EQ(f.injector.errors().size(), 1u);
+}
+
+}  // namespace
+}  // namespace svk::fault

@@ -1,0 +1,136 @@
+// FaultScheduleGen — seeded random FaultPlan generation for the chaos
+// harness (tests/chaos_test.cpp).
+//
+// All randomness for a chaos run lives here: a (seed, options) pair maps
+// deterministically to one FaultPlan, which the FaultInjector then executes
+// without drawing any random numbers. Failing schedules can therefore be
+// replayed exactly from either the seed or the dumped plan JSON.
+//
+// Generated schedules are *disjoint in time*: the fault window is sliced
+// into one slot per event and each event (including its revert) stays
+// inside its slot. This guarantees every fault has healed by
+// `window_end_s`, which the harness uses as the recovery deadline, and it
+// sidesteps the injector's documented restriction that two bursts on the
+// same directed link must not overlap.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace svk::chaos {
+
+struct FaultScheduleOptions {
+  /// Hosts that may fail-silent crash or be partitioned away (downstream
+  /// proxies; the harness keeps the entry proxy up so the topology always
+  /// has an ingress).
+  std::vector<std::string> crashable;
+  /// Hosts with a CPU model, eligible for cpu_degrade.
+  std::vector<std::string> degradable;
+  /// Candidate links for link-down and targeted bursts.
+  std::vector<std::pair<std::string, std::string>> links;
+  /// Faults begin no earlier than this (lets the run warm up first).
+  double window_start_s = 2.0;
+  /// Every fault, including its revert, has settled by this time.
+  double window_end_s = 8.0;
+  int min_events = 1;
+  int max_events = 4;
+};
+
+[[nodiscard]] inline fault::FaultPlan generate_fault_schedule(
+    std::uint64_t seed, const FaultScheduleOptions& opt) {
+  Rng rng(seed);
+  fault::FaultPlan plan;
+  plan.name = "chaos-" + std::to_string(seed);
+  plan.seed = seed;
+
+  const int count =
+      opt.min_events +
+      static_cast<int>(rng.uniform_int(
+          static_cast<std::uint64_t>(opt.max_events - opt.min_events + 1)));
+  const double slot =
+      (opt.window_end_s - opt.window_start_s) / static_cast<double>(count);
+
+  enum Pick { kCrash, kPartition, kLink, kLoss, kLatency, kDegrade };
+  std::vector<Pick> picks = {kLoss, kLatency};
+  if (!opt.crashable.empty()) {
+    picks.push_back(kCrash);
+    picks.push_back(kPartition);
+  }
+  if (!opt.links.empty()) picks.push_back(kLink);
+  if (!opt.degradable.empty()) picks.push_back(kDegrade);
+
+  const auto pick_host = [&rng](const std::vector<std::string>& hosts) {
+    return hosts[rng.uniform_int(hosts.size())];
+  };
+  const auto pick_link = [&rng, &opt] {
+    return opt.links[rng.uniform_int(opt.links.size())];
+  };
+
+  for (int i = 0; i < count; ++i) {
+    const double slot_start =
+        opt.window_start_s + static_cast<double>(i) * slot;
+    fault::FaultEvent event;
+    event.at =
+        SimTime::seconds(slot_start + rng.uniform(0.0, 0.3) * slot);
+    const double remaining =
+        slot_start + slot - event.at.to_seconds();
+    event.duration =
+        SimTime::seconds(rng.uniform(0.4, 0.95) * remaining);
+
+    switch (picks[rng.uniform_int(picks.size())]) {
+      case kCrash:
+        event.kind = fault::FaultKind::kNodeCrash;
+        event.host = pick_host(opt.crashable);
+        break;
+      case kPartition:
+        event.kind = fault::FaultKind::kPartition;
+        event.group = {pick_host(opt.crashable)};
+        break;
+      case kLink: {
+        event.kind = fault::FaultKind::kLinkDown;
+        const auto link = pick_link();
+        event.host = link.first;
+        event.peer = link.second;
+        event.bidirectional = rng.bernoulli(0.5);
+        break;
+      }
+      case kLoss:
+        event.kind = fault::FaultKind::kLossBurst;
+        event.value = rng.uniform(0.1, 0.8);
+        if (!opt.links.empty() && rng.bernoulli(0.5)) {
+          const auto link = pick_link();
+          event.host = link.first;
+          event.peer = link.second;
+        }  // else network-wide
+        break;
+      case kLatency:
+        event.kind = fault::FaultKind::kLatencyBurst;
+        // Bounded well under SIP T1 so bursts cause retransmissions, not
+        // wholesale transaction death.
+        event.extra_latency = SimTime::millis(
+            5 + static_cast<std::int64_t>(rng.uniform_int(120)));
+        if (!opt.links.empty() && rng.bernoulli(0.7)) {
+          const auto link = pick_link();
+          event.host = link.first;
+          event.peer = link.second;
+        }
+        break;
+      case kDegrade:
+        event.kind = fault::FaultKind::kCpuDegrade;
+        event.host = pick_host(opt.degradable);
+        event.value = rng.uniform(0.35, 0.9);
+        break;
+    }
+    plan.events.push_back(std::move(event));
+  }
+  return plan;
+}
+
+}  // namespace svk::chaos

@@ -362,6 +362,131 @@ TEST(NetworkTest, FifoPreservedForEqualLatency) {
 }
 
 // ---------------------------------------------------------------------------
+// NetworkFaultState overlay
+// ---------------------------------------------------------------------------
+
+TEST(NetworkFaultTest, DownHostNeitherTransmitsNorReceives) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  int delivered_to_2 = 0;
+  int delivered_to_3 = 0;
+  net.attach(Address{2}, [&](Address, std::string) { ++delivered_to_2; });
+  net.attach(Address{3}, [&](Address, std::string) { ++delivered_to_3; });
+
+  net.faults().set_host_down(Address{2}, true);
+  net.send(Address{2}, Address{3}, "tx-from-down");  // dropped at send
+  net.send(Address{3}, Address{2}, "rx-at-down");    // dropped at delivery
+  sim.run();
+  EXPECT_EQ(net.stats().dropped_host_down, 1u);
+  EXPECT_EQ(net.stats().dropped_no_route, 1u);
+  EXPECT_EQ(net.no_route_drops(Address{2}), 1u);
+  EXPECT_EQ(delivered_to_2, 0);
+  EXPECT_EQ(delivered_to_3, 0);
+
+  net.faults().set_host_down(Address{2}, false);  // restart
+  net.send(Address{2}, Address{3}, "alive");
+  net.send(Address{3}, Address{2}, "alive");
+  sim.run();
+  EXPECT_EQ(delivered_to_2, 1);
+  EXPECT_EQ(delivered_to_3, 1);
+}
+
+TEST(NetworkFaultTest, CrashMidFlightLosesTheDatagram) {
+  // Reachability is evaluated at delivery time: a datagram in flight when
+  // the destination crashes is lost, not delivered retroactively.
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  net.set_default_link(LinkParams{SimTime::millis(10), SimTime{}, 0.0});
+  int delivered = 0;
+  net.attach(Address{2}, [&](Address, std::string) { ++delivered; });
+  net.send(Address{1}, Address{2}, "in-flight");
+  sim.schedule(SimTime::millis(5),
+               [&] { net.faults().set_host_down(Address{2}, true); });
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.no_route_drops(Address{2}), 1u);
+}
+
+TEST(NetworkFaultTest, LinkDownIsDirected) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  int fwd = 0;
+  int rev = 0;
+  net.attach(Address{1}, [&](Address, std::string) { ++rev; });
+  net.attach(Address{2}, [&](Address, std::string) { ++fwd; });
+  net.faults().set_link_down(Address{1}, Address{2}, true);
+  net.send(Address{1}, Address{2}, "blocked");
+  net.send(Address{2}, Address{1}, "open");
+  sim.run();
+  EXPECT_EQ(fwd, 0);
+  EXPECT_EQ(rev, 1);
+  EXPECT_EQ(net.stats().dropped_link_down, 1u);
+}
+
+TEST(NetworkFaultTest, LossBurstDropsOnTopOfBaseLink) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  int delivered = 0;
+  net.attach(Address{2}, [&](Address, std::string) { ++delivered; });
+  net.faults().set_disturbance(Address{1}, Address{2},
+                               NetworkFaultState::Disturbance{1.0, SimTime{}});
+  for (int i = 0; i < 10; ++i) net.send(Address{1}, Address{2}, "x");
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped_burst, 10u);
+
+  net.faults().clear_disturbance(Address{1}, Address{2});
+  net.send(Address{1}, Address{2}, "after");
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkFaultTest, LatencyBurstDelaysDelivery) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  net.set_default_link(LinkParams{SimTime::millis(5), SimTime{}, 0.0});
+  SimTime arrival;
+  net.attach(Address{2}, [&](Address, std::string) { arrival = sim.now(); });
+  net.faults().set_disturbance(
+      Address{1}, Address{2},
+      NetworkFaultState::Disturbance{0.0, SimTime::millis(20)});
+  net.send(Address{1}, Address{2}, "slow");
+  sim.run();
+  EXPECT_EQ(arrival, SimTime::millis(25));
+}
+
+TEST(NetworkFaultTest, WildcardDisturbanceHitsEveryLinkExactPairWins) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  net.set_default_link(LinkParams{SimTime::millis(1), SimTime{}, 0.0});
+  SimTime at_2, at_3;
+  net.attach(Address{2}, [&](Address, std::string) { at_2 = sim.now(); });
+  net.attach(Address{3}, [&](Address, std::string) { at_3 = sim.now(); });
+  // Network-wide +10ms, but the 1->3 link specifically gets +30ms.
+  net.faults().set_disturbance(
+      Address{}, Address{},
+      NetworkFaultState::Disturbance{0.0, SimTime::millis(10)});
+  net.faults().set_disturbance(
+      Address{1}, Address{3},
+      NetworkFaultState::Disturbance{0.0, SimTime::millis(30)});
+  net.send(Address{1}, Address{2}, "wild");
+  net.send(Address{1}, Address{3}, "exact");
+  sim.run();
+  EXPECT_EQ(at_2, SimTime::millis(11));
+  EXPECT_EQ(at_3, SimTime::millis(31));
+}
+
+TEST(NetworkFaultTest, EmptyOverlayReportsNoFaults) {
+  Simulator sim;
+  TestNetwork net(sim, Rng(1));
+  EXPECT_FALSE(net.faults().any());
+  net.faults().set_host_down(Address{5}, true);
+  EXPECT_TRUE(net.faults().any());
+  net.faults().set_host_down(Address{5}, false);
+  EXPECT_FALSE(net.faults().any());
+}
+
+// ---------------------------------------------------------------------------
 // CpuQueue
 // ---------------------------------------------------------------------------
 
@@ -372,6 +497,20 @@ TEST(CpuQueueTest, ServiceTimeIsCostOverCapacity) {
   ASSERT_TRUE(cpu.submit(50.0, [&] { done_at = sim.now(); }));
   sim.run();
   EXPECT_EQ(done_at, SimTime::millis(500));  // 50/100 = 0.5s
+}
+
+TEST(CpuQueueTest, CapacityFactorScalesServiceTime) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{100.0, SimTime::seconds(10.0)});
+  EXPECT_DOUBLE_EQ(cpu.capacity_factor(), 1.0);
+  cpu.set_capacity_factor(0.5);  // degraded: half the nominal capacity
+  SimTime slow_done, nominal_done;
+  ASSERT_TRUE(cpu.submit(50.0, [&] { slow_done = sim.now(); }));
+  cpu.set_capacity_factor(1.0);  // restored: applies to new work only
+  ASSERT_TRUE(cpu.submit(50.0, [&] { nominal_done = sim.now(); }));
+  sim.run();
+  EXPECT_EQ(slow_done, SimTime::seconds(1.0));     // 50 / (100 * 0.5)
+  EXPECT_EQ(nominal_done, SimTime::millis(1500));  // + 50 / 100
 }
 
 TEST(CpuQueueTest, FifoBacklogAccumulates) {

@@ -127,6 +127,41 @@ TEST_F(InviteClientTest, ProvisionalStopsRetransmission) {
   EXPECT_EQ(responses, (std::vector<int>{100}));
 }
 
+TEST_F(InviteClientTest, TimerCTimesOutStuckProceeding) {
+  // RFC 3261 16.6: a provisional cancels timer B, but the transaction may
+  // not wait in Proceeding forever — timer C bounds it. A peer that sends
+  // 180 and then crashes must not leak the transaction.
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 180));
+  EXPECT_EQ(txn->state(), ClientState::kProceeding);
+  sim.run_until(SimTime::seconds(179.0));
+  EXPECT_EQ(timeouts, 0);
+  sim.run_until(SimTime::seconds(181.0));
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(terminated, 1);
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+}
+
+TEST_F(InviteClientTest, TimerCRefreshesOnEveryProvisional) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 100));
+  sim.run_until(SimTime::seconds(100.0));
+  txn->receive_response(make_response(*txn->request(), 180));  // refresh
+  sim.run_until(SimTime::seconds(250.0));
+  EXPECT_EQ(timeouts, 0);  // clock restarted at 100s; fires at 280s
+  sim.run_until(SimTime::seconds(281.0));
+  EXPECT_EQ(timeouts, 1);
+}
+
+TEST_F(InviteClientTest, FinalResponseCancelsTimerC) {
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 180));
+  txn->receive_response(make_response(*txn->request(), 200));
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+  sim.run_until(SimTime::seconds(200.0));
+  EXPECT_EQ(timeouts, 0);
+}
+
 TEST_F(InviteClientTest, TwoHundredTerminatesImmediately) {
   auto txn = make();
   txn->receive_response(make_response(*txn->request(), 200));
@@ -473,6 +508,79 @@ TEST_F(ManagerTest, InviteAndByeSameDialogAreDistinctTransactions) {
   manager.create_server(make_request(Method::kBye, "z9hG4bK-b", "c1"),
                         wire.sender(), ServerCallbacks{});
   EXPECT_EQ(manager.active_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Peer-crash drain: when the far end dies mid-transaction, timers B/F/H
+// must fire and the manager must end up empty after the simulator drains —
+// the invariant the chaos harness checks after every node-crash schedule.
+// ---------------------------------------------------------------------------
+
+TEST_F(ManagerTest, CrashedPeerInviteClientDrainsViaTimerB) {
+  auto invite = make_request(Method::kInvite);
+  int timeouts = 0;
+  ClientCallbacks callbacks;
+  callbacks.on_timeout = [&] { ++timeouts; };
+  manager.create_client(invite, wire.sender(), std::move(callbacks));
+  EXPECT_EQ(manager.active_count(), 1u);
+  sim.run();  // no response will ever arrive
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  // Timer B fires at 64*T1 = 32s after the last retransmission schedule.
+  EXPECT_GE(sim.now(), SimTime::seconds(32.0));
+}
+
+TEST_F(ManagerTest, CrashedPeerByeClientDrainsViaTimerF) {
+  auto bye = make_request(Method::kBye);
+  int timeouts = 0;
+  ClientCallbacks callbacks;
+  callbacks.on_timeout = [&] { ++timeouts; };
+  manager.create_client(bye, wire.sender(), std::move(callbacks));
+  sim.run();
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_GE(wire.count_method(Method::kBye), 2);  // timer E kept retrying
+}
+
+TEST_F(ManagerTest, CrashedPeerInviteServerDrainsViaTimerH) {
+  auto invite = make_request(Method::kInvite);
+  int timeouts = 0;
+  ServerCallbacks callbacks;
+  callbacks.on_timeout = [&] { ++timeouts; };
+  manager.create_server(invite, wire.sender(), std::move(callbacks));
+  auto* server = manager.find_server(*invite);
+  ASSERT_NE(server, nullptr);
+  server->respond(make_response(*invite, 486));
+  sim.run();  // the ACK never comes: the upstream peer crashed
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(manager.active_count(), 0u);
+}
+
+TEST_F(ManagerTest, StatefulRelayDrainsWhenDownstreamCrashes) {
+  // The proxy's stateful-relay wiring mid-INVITE: a server transaction
+  // upstream and a client transaction toward a peer that just crashed.
+  // Timer B answers 408 upstream, timer H then reaps the server leg; no
+  // transaction and no simulator event may survive the drain.
+  auto invite = make_request(Method::kInvite);
+  manager.create_server(invite, wire.sender(), ServerCallbacks{});
+
+  auto fwd = make_request(Method::kInvite, "z9hG4bK-fwd");
+  ClientCallbacks callbacks;
+  callbacks.on_timeout = [&] {
+    if (auto* srv = manager.find_server(*invite)) {
+      srv->respond(make_response(*invite, 408));
+    }
+  };
+  manager.create_client(fwd, wire.sender(), std::move(callbacks));
+  EXPECT_EQ(manager.active_count(), 2u);
+
+  sim.run();
+  // Timer G keeps retransmitting the 408 (the crashed-side ACK never
+  // arrives) until timer H gives up; at least one went upstream.
+  EXPECT_GE(wire.count_status(408), 1);
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_EQ(sim.pending_count(), 0u);
 }
 
 TEST_F(ManagerTest, UserTerminatedCallbackRuns) {
