@@ -1,0 +1,302 @@
+// Core perf baseline — the tracked wall-clock numbers every PR is held to.
+//
+// Unlike the figure benches (which reproduce the paper's *simulated*
+// metrics), this binary measures the simulator itself: how fast the
+// discrete-event core schedules, cancels and dispatches events, how fast
+// the SIP layer clones and serializes messages on the forward path, and how
+// long the standard Figure-5 two-series sweep takes end to end. Results go
+// to BENCH_perf_core.json; EXPERIMENTS.md records the history.
+//
+// Modes:
+//   (default)  full run: microbenches + the standard fig5 two-series sweep
+//   --quick    CI smoke: smaller iteration counts, 3-point sweep. The
+//              allocation-regression gate (events scheduled per event-pool
+//              slab allocation, messages finished per message-pool slab
+//              allocation) is checked in BOTH modes and reflected in the
+//              process exit code, so CI fails on an allocation regression
+//              without depending on noisy wall-clock numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/simulator.hpp"
+#include "sip/branch.hpp"
+#include "sip/message.hpp"
+
+namespace {
+
+using namespace svk;
+using namespace svk::bench;
+using Clock = std::chrono::steady_clock;
+
+bool g_quick = false;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Peak resident set size of this process, in bytes (Linux VmHWM).
+std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+// ---------------------------------------------------------------------------
+// Microbench 1: schedule + cancel churn (the RFC 3261 timer pattern).
+//
+// Transactions arm timers far in the future (timer B/F at 32s, timer C at
+// 180s, linger timers at 5-32s) and cancel nearly all of them milliseconds
+// later when the response arrives. The old priority_queue core paid
+// O(log n) per schedule and left a tombstone per cancel that stayed
+// resident until the queue drained past it.
+// ---------------------------------------------------------------------------
+double bench_schedule_cancel(sim::Simulator& sim, std::uint64_t rounds,
+                             std::uint64_t batch) {
+  std::vector<sim::EventId> ids(batch);
+  const auto start = Clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      // Delays spread over the RFC timer range: A/E-scale (ms) through
+      // B/F (32s) up to timer C (180s).
+      const SimTime delay =
+          SimTime::millis(500) + SimTime::seconds(static_cast<double>(i % 180));
+      ids[i] = sim.schedule(delay, [] {});
+    }
+    for (std::uint64_t i = 0; i < batch; ++i) sim.cancel(ids[i]);
+    // Advance virtual time a little, as the event loop would between
+    // arrival bursts.
+    sim.schedule(SimTime::micros(100), [] {});
+    sim.step();
+  }
+  const double elapsed = seconds_since(start);
+  return static_cast<double>(rounds * batch) / elapsed;  // schedule+cancel pairs
+}
+
+// ---------------------------------------------------------------------------
+// Microbench 2: event dispatch throughput. A population of self-rescheduling
+// "timers" (the steady-state shape of the simulation: every executed event
+// schedules its successor) run for a fixed virtual horizon.
+// ---------------------------------------------------------------------------
+double bench_dispatch(sim::Simulator& sim, int population, double sim_seconds) {
+  std::uint64_t fired = 0;
+  struct Timer {
+    sim::Simulator* sim;
+    std::uint64_t* fired;
+    SimTime period;
+    void arm() {
+      sim->schedule(period, [this] {
+        ++*fired;
+        arm();
+      });
+    }
+  };
+  std::vector<Timer> timers(static_cast<std::size_t>(population));
+  for (int i = 0; i < population; ++i) {
+    timers[static_cast<std::size_t>(i)] = {&sim, &fired,
+                                           SimTime::micros(50 + i % 100)};
+    timers[static_cast<std::size_t>(i)].arm();
+  }
+  const SimTime horizon = sim.now() + SimTime::seconds(sim_seconds);
+  const auto start = Clock::now();
+  sim.run_until(horizon);
+  const double elapsed = seconds_since(start);
+  return static_cast<double>(fired) / elapsed;
+}
+
+// ---------------------------------------------------------------------------
+// Microbench 3: copy-on-forward. Clone a realistic mid-chain INVITE, push a
+// Via, decrement Max-Forwards and share it — exactly what ProxyServer does
+// per hop.
+// ---------------------------------------------------------------------------
+sip::Message make_invite() {
+  sip::Message msg = sip::Message::request(
+      sip::Method::kInvite, sip::Uri("hal", "us.ibm.com"),
+      sip::NameAddr{"", sip::Uri("alice", "uac.test"), "tag-a"},
+      sip::NameAddr{"", sip::Uri("hal", "us.ibm.com"), ""},
+      "cid-7f3a2b@uac", sip::CSeq{1, sip::Method::kInvite});
+  msg.push_via(sip::Via{"SIP/2.0/UDP", "uac.test", "z9hG4bK-1-1"});
+  msg.set_header("X-SVK-Stateful", "proxy0.test");
+  return msg;
+}
+
+double bench_forward(std::uint64_t iters, std::uint64_t* forwarded,
+                     std::uint64_t* steady_fresh_allocs) {
+  const sip::MessagePtr base = [&] {
+    sip::Message m = make_invite();
+    m.push_via(sip::Via{"SIP/2.0/UDP", "proxy0.test", "z9hG4bK-2-2"});
+    return std::move(m).finish();
+  }();
+  sip::BranchGenerator branches(3);
+  // A small in-flight window models messages alive while traversing links.
+  std::vector<sip::MessagePtr> window(64);
+  const auto forward_one = [&](std::uint64_t i) {
+    sip::Message fwd = sip::clone(*base);
+    fwd.push_via(sip::Via{"SIP/2.0/UDP", "proxy1.test", branches.next()});
+    fwd.decrement_max_forwards();
+    window[i % window.size()] = std::move(fwd).finish();
+  };
+  // Warm the window and the message pool before measuring; from then on
+  // every finish() must be served from the pool's freelist.
+  for (std::uint64_t i = 0; i < 4096; ++i) forward_one(i);
+  const std::uint64_t fresh_before = sip::message_pool_stats().fresh_allocs;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) forward_one(i);
+  const double elapsed = seconds_since(start);
+  *steady_fresh_allocs =
+      sip::message_pool_stats().fresh_allocs - fresh_before;
+  *forwarded = iters;
+  return static_cast<double>(iters) / elapsed;
+}
+
+double bench_to_wire(std::uint64_t iters) {
+  sip::Message msg = make_invite();
+  msg.push_via(sip::Via{"SIP/2.0/UDP", "proxy0.test", "z9hG4bK-2-2"});
+  msg.push_via(sip::Via{"SIP/2.0/UDP", "proxy1.test", "z9hG4bK-3-3"});
+  std::uint64_t bytes = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    bytes += msg.to_wire().size();
+  }
+  const double elapsed = seconds_since(start);
+  benchmark::DoNotOptimize(bytes);
+  return static_cast<double>(iters) / elapsed;
+}
+
+// ---------------------------------------------------------------------------
+// The standard Figure-5 two-series sweep, timed wall-clock end to end.
+// ---------------------------------------------------------------------------
+double bench_fig5_sweep(double* static_sat, double* dynamic_sat) {
+  using workload::PolicyKind;
+  const double lo = 7000.0, hi = g_quick ? 8000.0 : 13000.0, step = 500.0;
+  const auto start = Clock::now();
+  const Series s_static = run_throughput_series(
+      "static(all-SF)",
+      workload::series_chain(2, scenario(PolicyKind::kStaticAllStateful)), lo,
+      hi, step);
+  const Series s_dyn = run_throughput_series(
+      "SERvartuka", workload::series_chain(2, scenario(PolicyKind::kServartuka)),
+      lo, hi, step);
+  const double elapsed = seconds_since(start);
+  *static_sat = s_static.max_value;
+  *dynamic_sat = s_dyn.max_value;
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  svk::bench::initialize(&argc, argv);
+
+  const std::uint64_t churn_rounds = g_quick ? 2'000 : 20'000;
+  const std::uint64_t churn_batch = 64;
+  const int dispatch_population = 512;
+  const double dispatch_sim_seconds = g_quick ? 0.5 : 4.0;
+  const std::uint64_t forward_iters = g_quick ? 500'000 : 4'000'000;
+  const std::uint64_t wire_iters = g_quick ? 200'000 : 1'000'000;
+
+  print_header("perf_core", "simulator + SIP hot-path wall-clock baseline");
+
+  sim::Simulator churn_sim;
+  const double sched_cancel =
+      bench_schedule_cancel(churn_sim, churn_rounds, churn_batch);
+  std::printf("schedule+cancel churn : %12.0f pairs/sec (pending after: %zu)\n",
+              sched_cancel, churn_sim.pending_count());
+
+  sim::Simulator dispatch_sim;
+  const double dispatch =
+      bench_dispatch(dispatch_sim, dispatch_population, dispatch_sim_seconds);
+  std::printf("event dispatch        : %12.0f events/sec (executed: %llu)\n",
+              dispatch,
+              static_cast<unsigned long long>(dispatch_sim.executed_count()));
+
+  std::uint64_t forwarded = 0;
+  std::uint64_t steady_fresh_allocs = 0;
+  const double forward =
+      bench_forward(forward_iters, &forwarded, &steady_fresh_allocs);
+  std::printf("message forward       : %12.0f msgs/sec\n", forward);
+
+  const double wire = bench_to_wire(wire_iters);
+  std::printf("to_wire serialization : %12.0f msgs/sec\n", wire);
+
+  double static_sat = 0.0, dynamic_sat = 0.0;
+  const double sweep_seconds = bench_fig5_sweep(&static_sat, &dynamic_sat);
+  std::printf("fig5 two-series sweep : %12.2f s wall-clock%s\n", sweep_seconds,
+              g_quick ? " (--quick)" : "");
+  std::printf("  simulated saturation: static %.0f cps, SERvartuka %.0f cps\n",
+              static_sat, dynamic_sat);
+
+  const std::uint64_t rss = peak_rss_bytes();
+  std::printf("peak RSS              : %12.1f MiB\n",
+              static_cast<double>(rss) / (1024.0 * 1024.0));
+
+  // -- Allocation gate ------------------------------------------------------
+  // Regression detection that does not depend on wall-clock noise: the
+  // event pool must amortize its slab mallocs over a huge number of
+  // scheduled events, and the warm message pool must serve the forward
+  // loop without fresh allocations.
+  const auto& churn_stats = churn_sim.event_stats();
+  const auto& dispatch_stats = dispatch_sim.event_stats();
+  const std::uint64_t events_scheduled =
+      churn_stats.scheduled + dispatch_stats.scheduled;
+  const std::uint64_t slab_allocs =
+      churn_stats.slab_allocs + dispatch_stats.slab_allocs;
+  const double events_per_slab =
+      static_cast<double>(events_scheduled) /
+      static_cast<double>(slab_allocs == 0 ? 1 : slab_allocs);
+  // A healthy pool lands far above this (millions per slab); a core that
+  // allocates per event would sit near the slab size (256).
+  const double kMinEventsPerSlab = 50'000.0;
+  const bool event_gate_ok = events_per_slab >= kMinEventsPerSlab;
+  const bool message_gate_ok = steady_fresh_allocs == 0;
+  std::printf("alloc gate            : %llu events / %llu slab allocs "
+              "(%.0f per slab, min %.0f) -> %s\n",
+              static_cast<unsigned long long>(events_scheduled),
+              static_cast<unsigned long long>(slab_allocs), events_per_slab,
+              kMinEventsPerSlab, event_gate_ok ? "ok" : "FAIL");
+  std::printf("alloc gate            : %llu fresh message-pool allocs in "
+              "steady forward loop (want 0) -> %s\n",
+              static_cast<unsigned long long>(steady_fresh_allocs),
+              message_gate_ok ? "ok" : "FAIL");
+
+  BenchReport report("perf_core");
+  report.root()["quick"] = g_quick;
+  report.add_metric("schedule_cancel_pairs_per_sec", sched_cancel);
+  report.add_metric("dispatch_events_per_sec", dispatch);
+  report.add_metric("forward_msgs_per_sec", forward);
+  report.add_metric("to_wire_msgs_per_sec", wire);
+  report.add_metric("fig5_sweep_seconds", sweep_seconds);
+  report.add_metric("fig5_static_saturation_cps", static_sat);
+  report.add_metric("fig5_servartuka_saturation_cps", dynamic_sat);
+  report.add_metric("peak_rss_bytes", static_cast<double>(rss));
+  report.add_metric("events_scheduled", static_cast<double>(events_scheduled));
+  report.add_metric("event_pool_slab_allocs", static_cast<double>(slab_allocs));
+  report.add_metric("events_per_slab_alloc", events_per_slab);
+  report.add_metric("message_pool_steady_fresh_allocs",
+                    static_cast<double>(steady_fresh_allocs));
+  report.add_metric("message_pool_reuses",
+                    static_cast<double>(sip::message_pool_stats().reuses));
+  report.root()["alloc_gate_pass"] = event_gate_ok && message_gate_ok;
+  report.write();
+  return event_gate_ok && message_gate_ok ? 0 : 1;
+}

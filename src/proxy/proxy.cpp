@@ -512,7 +512,7 @@ void ProxyServer::handle_cancel(Address from, const sip::MessagePtr& msg) {
           sip::Method::kCancel, fwd_invite->request_uri(),
           fwd_invite->from(), fwd_invite->to(), fwd_invite->call_id(),
           sip::CSeq{fwd_invite->cseq().seq, sip::Method::kCancel});
-      cancel.vias().push_back(fwd_invite->top_via());
+      cancel.push_via(fwd_invite->top_via());
       // CANCEL responses terminate at this hop (hop-by-hop method).
       txns_.create_client(std::move(cancel).finish(), sender_to(target),
                           txn::ClientCallbacks{});

@@ -1,0 +1,121 @@
+// Small-buffer-optimized callable for simulator events.
+//
+// The old core stored every scheduled action as a std::function<void()>,
+// which heap-allocates for captures beyond the implementation's tiny inline
+// buffer (16 bytes on libstdc++). Event actions routinely capture a payload
+// shared_ptr plus a couple of addresses, so steady-state scheduling was one
+// malloc/free per event. EventAction keeps a 64-byte inline buffer — sized
+// for the network-delivery lambda (this + from + to + MessagePtr) with room
+// to spare — and only falls back to the heap for oversized or
+// throwing-move captures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace svk::sim {
+
+/// Move-only type-erased void() callable with 64 bytes of inline storage.
+class EventAction {
+ public:
+  static constexpr std::size_t kInlineSize = 64;
+
+  EventAction() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventAction> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function
+  EventAction(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventAction(EventAction&& other) noexcept { move_from(other); }
+
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+
+  ~EventAction() { reset(); }
+
+  /// Invokes the callable. Precondition: non-empty.
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Destroys the held callable (if any) and becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* buf);
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* b) { (*static_cast<Fn*>(b))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* b) { static_cast<Fn*>(b)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* b) { (**static_cast<Fn**>(b))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        },
+        [](void* b) { delete *static_cast<Fn**>(b); },
+    };
+    return &ops;
+  }
+
+  void move_from(EventAction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace svk::sim

@@ -20,45 +20,36 @@ EventId Simulator::schedule(SimTime delay, Action action) {
 
 EventId Simulator::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(action)});
-  pending_.insert(id);
-  return id;
+  return wheel_.insert(when, std::move(action));
 }
 
-void Simulator::cancel(EventId id) {
-  // Only ids that are still pending grow the tombstone set; cancelling an
-  // already-run (or never-issued) id would otherwise leave a stale entry
-  // that no queue pop ever reclaims.
-  if (pending_.erase(id) != 0) cancelled_.insert(id);
+EventId Simulator::reschedule(EventId id, SimTime delay, Action action) {
+  wheel_.cancel(id);
+  return schedule(delay, std::move(action));
 }
 
-bool Simulator::settle_top() {
-  while (!queue_.empty()) {
-    if (cancelled_.erase(queue_.top().id) == 0) return true;
-    queue_.pop();
-  }
-  return false;
-}
+void Simulator::cancel(EventId id) { wheel_.cancel(id); }
 
-bool Simulator::step() {
-  if (!settle_top()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  pending_.erase(ev.id);
-  now_ = ev.at;
+bool Simulator::step_until(SimTime limit) {
+  SimTime at;
+  EventAction action;
+  if (!wheel_.pop_until(limit, &at, &action)) return false;
+  now_ = at;
   ++executed_;
   // Event-queue depth sampled every 1024 events: cheap enough for the hot
   // loop, dense enough to see a runaway schedule in the metrics dump.
   if (depth_series_ != nullptr && (executed_ & 1023u) == 0) {
-    depth_series_->sample(now_, static_cast<double>(pending_.size()));
+    depth_series_->sample(now_, static_cast<double>(wheel_.size()));
   }
-  ev.action();
+  action();
   return true;
 }
 
+bool Simulator::step() { return step_until(SimTime::max()); }
+
 void Simulator::run_until(SimTime until) {
-  while (settle_top() && queue_.top().at <= until) step();
+  while (step_until(until)) {
+  }
   if (now_ < until) now_ = until;
 }
 

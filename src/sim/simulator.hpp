@@ -3,16 +3,21 @@
 // A single-threaded event loop over virtual time. Events scheduled for the
 // same instant run in FIFO order (stable sequence-number tie-break), which
 // makes every run bit-reproducible for a given seed and schedule.
+//
+// The pending-event store is a hierarchical timer wheel with a slab-pooled
+// node per event (see timer_wheel.hpp): schedule and cancel are O(1),
+// cancellation removes the event eagerly (no tombstones), and steady-state
+// scheduling performs no heap allocation — the callable lives inline in the
+// pooled node (EventAction small-buffer storage).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "common/sim_time.hpp"
 #include "obs/sinks.hpp"
+#include "sim/event_action.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace svk::obs {
 class TimeSeries;
@@ -20,14 +25,11 @@ class TimeSeries;
 
 namespace svk::sim {
 
-/// Identifies a scheduled event for cancellation.
-using EventId = std::uint64_t;
-
 /// The event loop. Not thread-safe by design (CP: the simulation is
 /// deterministic and single-threaded; parallelism belongs outside the clock).
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = EventAction;
 
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -39,10 +41,16 @@ class Simulator {
   /// Schedules `action` at an absolute time (clamped to now).
   EventId schedule_at(SimTime when, Action action);
 
+  /// Cancels `id` (tolerating stale/zero ids) and schedules `action` after
+  /// `delay` in one call — the timer-refresh idiom (RFC 3261 timer A
+  /// doubling, timer C re-arm per provisional). Returns the new id.
+  EventId reschedule(EventId id, SimTime delay, Action action);
+
   /// Cancels a pending event. Cancelling an already-run, already-cancelled
   /// or unknown id is a harmless no-op (it must not disturb the pending
   /// accounting — ids are routinely cancelled from inside their own action,
-  /// e.g. PeriodicTimer::stop() within its own tick).
+  /// e.g. PeriodicTimer::stop() within its own tick). Live events are
+  /// removed eagerly: no tombstone outlives this call.
   void cancel(EventId id);
 
   /// Runs events until the queue is empty or `until` is passed. The clock
@@ -58,10 +66,17 @@ class Simulator {
   /// Number of events executed so far (diagnostics).
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
 
-  /// Pending (non-cancelled) event count. Safe by construction: it reports
-  /// the live-id set directly instead of deriving a difference of queue and
-  /// tombstone sizes (which underflowed when a stale id was cancelled).
-  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  /// Pending (non-cancelled) event count. O(1), maintained by the wheel.
+  [[nodiscard]] std::size_t pending_count() const { return wheel_.size(); }
+
+  /// Event-store allocation/behavior counters (perf benches and the
+  /// zero-allocation steady-state tests read these).
+  [[nodiscard]] const TimerWheel::Stats& event_stats() const {
+    return wheel_.stats();
+  }
+  /// The wheel itself, for memory-behavior assertions (node capacity,
+  /// overflow residency).
+  [[nodiscard]] const TimerWheel& event_store() const { return wheel_; }
 
   /// Installs observability sinks. The returned struct from obs() has a
   /// stable address for the simulator's lifetime, so components may cache
@@ -71,31 +86,14 @@ class Simulator {
   [[nodiscard]] const obs::Sinks& obs() const { return obs_; }
 
  private:
-  struct Event {
-    SimTime at;
-    EventId id;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among simultaneous events
-    }
-  };
-
-  /// Discards cancelled entries from the front of the queue — the single
-  /// place lazy deletion happens. Returns true when the queue top is a
-  /// runnable event.
-  bool settle_top();
+  /// Executes the next event if due at or before `limit`.
+  bool step_until(SimTime limit);
 
   SimTime now_;
-  EventId next_id_{1};
   std::uint64_t executed_{0};
   obs::Sinks obs_;
   obs::TimeSeries* depth_series_{nullptr};  // cached metrics series
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_;    // scheduled, not run or cancelled
-  std::unordered_set<EventId> cancelled_;  // tombstones still in queue_
+  TimerWheel wheel_;
 };
 
 /// A repeating timer bound to a simulator. Ticks every `period` until

@@ -47,13 +47,13 @@ TransactionKey server_key(const Message& req) {
   const Via& via = req.top_via();
   Method method = req.method();
   if (method == Method::kAck) method = Method::kInvite;
-  return TransactionKey{via.branch, via.sent_by, method};
+  return TransactionKey{via.branch, via.sent_by.str(), method};
 }
 
 TransactionKey client_key(const Message& resp) {
   const Via& via = resp.top_via();
   Method method = resp.cseq().method;
-  return TransactionKey{via.branch, via.sent_by, method};
+  return TransactionKey{via.branch, via.sent_by.str(), method};
 }
 
 }  // namespace svk::sip

@@ -1,0 +1,62 @@
+#include "sip/intern.hpp"
+
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+
+namespace svk::sip {
+namespace {
+
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct StringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+struct InternTable {
+  std::shared_mutex mutex;
+  // Node-based: element addresses survive rehash, so a returned reference
+  // is stable even as the table grows.
+  std::unordered_set<std::string, StringHash, StringEq> strings;
+};
+
+InternTable& table() {
+  static InternTable* t = new InternTable();  // leaked: process lifetime
+  return *t;
+}
+
+const std::string& empty_string() {
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace
+
+const std::string& intern(std::string_view text) {
+  if (text.empty()) return empty_string();
+  InternTable& t = table();
+  {
+    std::shared_lock lock(t.mutex);
+    auto it = t.strings.find(text);
+    if (it != t.strings.end()) return *it;
+  }
+  std::unique_lock lock(t.mutex);
+  return *t.strings.emplace(text).first;
+}
+
+std::size_t intern_table_size() {
+  InternTable& t = table();
+  std::shared_lock lock(t.mutex);
+  return t.strings.size();
+}
+
+Token::Token() noexcept : str_(&empty_string()) {}
+
+}  // namespace svk::sip

@@ -76,8 +76,14 @@ void Message::set_header(std::string name, std::string value) {
 }
 
 void Message::remove_header(std::string_view name) {
-  std::erase_if(extra_,
-                [name](const auto& entry) { return entry.first == name; });
+  auto* keep = extra_.begin();
+  for (auto& entry : extra_) {
+    if (entry.first != name) {
+      if (keep != &entry) *keep = std::move(entry);
+      ++keep;
+    }
+  }
+  while (extra_.end() != keep) extra_.pop_back();
 }
 
 std::size_t Message::header_count() const {
@@ -88,8 +94,21 @@ std::size_t Message::header_count() const {
 }
 
 std::string Message::to_wire() const {
+  // Size the buffer once: per-header constants cover the literal parts
+  // ("Via: ", ";branch=", CRLFs...), variable parts are summed exactly for
+  // the repeated headers and estimated generously for the name-addr lines.
+  std::size_t estimate = 192 + body_.size() + call_id_.size() +
+                         reason_.size() + 96 * (2 + (contact_ ? 1 : 0));
+  for (const Via& via : vias_) {
+    estimate += 16 + via.protocol.size() + via.sent_by.size() +
+                via.branch.size();
+  }
+  estimate += 64 * (routes_.size() + record_routes_.size());
+  for (const auto& [key, value] : extra_) {
+    estimate += key.size() + value.size() + 4;
+  }
   std::string out;
-  out.reserve(512 + body_.size());
+  out.reserve(estimate);
 
   if (is_request_) {
     out += to_string(method_);
@@ -104,11 +123,13 @@ std::string Message::to_wire() const {
     out += "\r\n";
   }
 
-  for (const Via& via : vias_) {
+  // vias_ is stored bottom-first; the wire format lists the top Via first.
+  for (auto it = vias_.rbegin(); it != vias_.rend(); ++it) {
+    const Via& via = *it;
     out += "Via: ";
-    out += via.protocol;
+    out += via.protocol.view();
     out += ' ';
-    out += via.sent_by;
+    out += via.sent_by.view();
     if (!via.branch.empty()) {
       out += ";branch=";
       out += via.branch;

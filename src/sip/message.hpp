@@ -4,6 +4,14 @@
 // network as MessagePtr (shared_ptr<const Message>). A proxy that needs to
 // modify a message in flight (push a Via, decrement Max-Forwards) copies it
 // first — copy-on-forward, matching how a real proxy re-serializes.
+//
+// The layout is tuned for that copy: header lists live in small-inline
+// vectors (no malloc for the common 1–4 entry counts), Via protocol and
+// sent-by values are interned Tokens (pointer copies), and the Via stack is
+// stored bottom-first so push_via/pop_via — the per-hop operations — are
+// O(1) at the back instead of O(n) front inserts. finish() allocates the
+// shared block from a freelist-backed pool (see message_pool.hpp), so a
+// warm forward path creates and releases messages without the allocator.
 #pragma once
 
 #include <cstdint>
@@ -11,8 +19,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <vector>
+#include <utility>
 
+#include "common/small_vector.hpp"
+#include "sip/intern.hpp"
+#include "sip/message_pool.hpp"
 #include "sip/methods.hpp"
 #include "sip/uri.hpp"
 
@@ -20,10 +31,18 @@ namespace svk::sip {
 
 /// One Via header entry (RFC 3261 8.1.1.7 / 18.2.1): the response return
 /// path. `sent_by` is the sender's host identity; `branch` the transaction
-/// id token.
+/// id token. Protocol and sent-by come from bounded vocabularies and are
+/// interned; branch is per-transaction unique and stays a plain string.
 struct Via {
-  std::string protocol = "SIP/2.0/UDP";
-  std::string sent_by;
+  Via() = default;
+  Via(std::string_view protocol, std::string_view sent_by,
+      std::string branch = {})
+      : protocol(protocol),
+        sent_by(sent_by),
+        branch(std::move(branch)) {}
+
+  Token protocol{"SIP/2.0/UDP"};
+  Token sent_by;
   std::string branch;
 
   friend bool operator==(const Via&, const Via&) = default;
@@ -52,6 +71,13 @@ using MessagePtr = std::shared_ptr<const Message>;
 /// A SIP request or response.
 class Message {
  public:
+  /// Via stack, stored bottom-first: the *last* element is the top Via
+  /// (most recent hop). Iteration order is bottom-to-top; to_wire() emits
+  /// top-first as the wire format requires.
+  using ViaList = SmallVector<Via, 4>;
+  using RouteList = SmallVector<Uri, 2>;
+  using HeaderList = SmallVector<std::pair<std::string, std::string>, 2>;
+
   /// Creates a request with the mandatory header skeleton.
   [[nodiscard]] static Message request(Method method, Uri request_uri,
                                        NameAddr from, NameAddr to,
@@ -75,12 +101,15 @@ class Message {
   [[nodiscard]] const std::string& reason() const { return reason_; }
 
   // -- Core headers --------------------------------------------------------
-  [[nodiscard]] const std::vector<Via>& vias() const { return vias_; }
-  [[nodiscard]] std::vector<Via>& vias() { return vias_; }
+  /// The Via stack, bottom-first (top Via last — see ViaList).
+  [[nodiscard]] const ViaList& vias() const { return vias_; }
   /// Top Via; precondition: at least one Via present.
-  [[nodiscard]] const Via& top_via() const { return vias_.front(); }
-  void push_via(Via via) { vias_.insert(vias_.begin(), std::move(via)); }
-  void pop_via() { vias_.erase(vias_.begin()); }
+  [[nodiscard]] const Via& top_via() const { return vias_.back(); }
+  [[nodiscard]] Via& top_via() { return vias_.back(); }
+  /// Pushes a new top Via. O(1).
+  void push_via(Via via) { vias_.push_back(std::move(via)); }
+  /// Pops the top Via. O(1).
+  void pop_via() { vias_.pop_back(); }
 
   [[nodiscard]] const NameAddr& from() const { return from_; }
   [[nodiscard]] NameAddr& from() { return from_; }
@@ -100,12 +129,12 @@ class Message {
   void decrement_max_forwards() { --max_forwards_; }
 
   // -- Routing headers -----------------------------------------------------
-  [[nodiscard]] const std::vector<Uri>& routes() const { return routes_; }
-  [[nodiscard]] std::vector<Uri>& routes() { return routes_; }
-  [[nodiscard]] const std::vector<Uri>& record_routes() const {
+  [[nodiscard]] const RouteList& routes() const { return routes_; }
+  [[nodiscard]] RouteList& routes() { return routes_; }
+  [[nodiscard]] const RouteList& record_routes() const {
     return record_routes_;
   }
-  [[nodiscard]] std::vector<Uri>& record_routes() { return record_routes_; }
+  [[nodiscard]] RouteList& record_routes() { return record_routes_; }
 
   // -- Extension headers ---------------------------------------------------
   /// First value of an extension header, if present.
@@ -114,10 +143,7 @@ class Message {
   /// Sets (replacing any existing value of) an extension header.
   void set_header(std::string name, std::string value);
   void remove_header(std::string_view name);
-  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
-  extension_headers() const {
-    return extra_;
-  }
+  [[nodiscard]] const HeaderList& extension_headers() const { return extra_; }
 
   // -- Body ----------------------------------------------------------------
   [[nodiscard]] const std::string& body() const { return body_; }
@@ -130,9 +156,12 @@ class Message {
   /// used by the cost model's lazy-parsing account.
   [[nodiscard]] std::size_t header_count() const;
 
-  /// Shares this message immutably.
+  /// Shares this message immutably. The control block and payload come
+  /// from the thread-local message pool in one allocation, recycled when
+  /// the last MessagePtr drops.
   [[nodiscard]] MessagePtr finish() && {
-    return std::make_shared<const Message>(std::move(*this));
+    return std::allocate_shared<const Message>(MessagePoolAllocator<Message>{},
+                                               std::move(*this));
   }
 
  private:
@@ -142,16 +171,16 @@ class Message {
   int status_code_ = 0;
   std::string reason_;
 
-  std::vector<Via> vias_;
+  ViaList vias_;  // bottom-first; top Via is vias_.back()
   NameAddr from_;
   NameAddr to_;
   std::string call_id_;
   CSeq cseq_;
   std::optional<NameAddr> contact_;
   int max_forwards_ = 70;
-  std::vector<Uri> routes_;
-  std::vector<Uri> record_routes_;
-  std::vector<std::pair<std::string, std::string>> extra_;
+  RouteList routes_;
+  RouteList record_routes_;
+  HeaderList extra_;
   std::string body_;
 
   friend class Parser;

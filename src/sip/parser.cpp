@@ -1,5 +1,6 @@
 #include "sip/parser.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <string>
 
@@ -51,11 +52,11 @@ Result<Via> parse_via(std::string_view value) {
     return make_error("via: missing sent-by");
   }
   Via via;
-  via.protocol = std::string(trim(value.substr(0, space)));
+  via.protocol = trim(value.substr(0, space));
   std::string_view rest = trim(value.substr(space + 1));
   // sent-by[;params]
   const auto semi = rest.find(';');
-  via.sent_by = std::string(trim(rest.substr(0, semi)));
+  via.sent_by = trim(rest.substr(0, semi));
   if (via.sent_by.empty()) return make_error("via: empty sent-by");
   if (semi != std::string_view::npos) {
     std::string_view params = rest.substr(semi + 1);
@@ -260,6 +261,8 @@ Result<Message> Parser::parse(std::string_view wire) {
   if (!saw_from) return make_error("parse: missing From");
   if (!saw_to) return make_error("parse: missing To");
   if (msg.vias_.empty()) return make_error("parse: missing Via");
+  // Wire order is top Via first; the model stores the stack bottom-first.
+  std::reverse(msg.vias_.begin(), msg.vias_.end());
 
   if (content_length > rest.size()) {
     return make_error("parse: truncated body");

@@ -35,7 +35,7 @@ ClientTransaction& TransactionManager::create_client(
   // The response will arrive with our Via on top, so the client key is
   // derived from the request's current top Via.
   sip::TransactionKey key{request->top_via().branch,
-                          request->top_via().sent_by,
+                          request->top_via().sent_by.str(),
                           request->cseq().method};
   const auto user_terminated = std::move(callbacks.on_terminated);
   callbacks.on_terminated = [this, key, user_terminated] {

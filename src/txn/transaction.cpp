@@ -15,7 +15,7 @@ sip::MessagePtr build_non2xx_ack(const sip::Message& invite,
       sip::Method::kAck, invite.request_uri(), invite.from(), response.to(),
       invite.call_id(),
       sip::CSeq{invite.cseq().seq, sip::Method::kAck});
-  ack.vias().push_back(invite.top_via());
+  ack.push_via(invite.top_via());
   ack.set_max_forwards(invite.max_forwards());
   return std::move(ack).finish();
 }
@@ -139,9 +139,8 @@ void ClientTransaction::receive_response(const sip::MessagePtr& response) {
           // Timer C replaces timer B: the transaction may not sit in
           // Proceeding forever waiting on a peer that died after its 1xx.
           // Refreshed on every provisional (RFC 3261 16.7 step 2).
-          sim_.cancel(timeout_timer_);
-          timeout_timer_ =
-              sim_.schedule(timers_.timer_c(), [this] { fire_timeout(); });
+          timeout_timer_ = sim_.reschedule(timeout_timer_, timers_.timer_c(),
+                                           [this] { fire_timeout(); });
         }
         if (callbacks_.on_response) callbacks_.on_response(response);
         return;

@@ -140,7 +140,7 @@ void Uac::send_cancel(const std::string& call_id) {
       sip::Method::kCancel, invite.request_uri(), invite.from(),
       invite.to(), invite.call_id(),
       sip::CSeq{invite.cseq().seq, sip::Method::kCancel});
-  cancel.vias().push_back(invite.top_via());
+  cancel.push_via(invite.top_via());
   txns_.create_client(std::move(cancel).finish(),
                       counting_sender(sip::Method::kCancel),
                       txn::ClientCallbacks{});

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/run_record.hpp"
 #include "common/sim_time.hpp"
+#include "common/small_vector.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -620,6 +621,86 @@ TEST(ParallelForIndexTest, SingleThreadRunsInlineInOrder) {
 
 TEST(ParallelForIndexTest, ZeroCountIsNoop) {
   parallel_for_index(4, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+// ---------------------------------------------------------------------------
+// SmallVector
+// ---------------------------------------------------------------------------
+
+TEST(SmallVectorTest, StaysInlineUpToCapacityThenSpills) {
+  SmallVector<std::string, 2> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inlined());
+  v.push_back("one");
+  v.push_back("two");
+  EXPECT_TRUE(v.inlined());
+  v.push_back("three");  // spill to heap
+  EXPECT_FALSE(v.inlined());
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "one");
+  EXPECT_EQ(v[1], "two");
+  EXPECT_EQ(v[2], "three");
+  EXPECT_EQ(v.front(), "one");
+  EXPECT_EQ(v.back(), "three");
+}
+
+TEST(SmallVectorTest, InsertEraseAndEquality) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.insert(v.begin() + 1, 2);  // forces a spill and a shift
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  v.erase(v.begin());
+  EXPECT_EQ(v[0], 2);
+  v.pop_back();
+  ASSERT_EQ(v.size(), 1u);
+
+  SmallVector<int, 2> w;
+  w.push_back(2);
+  EXPECT_EQ(v, w);
+  w.push_back(9);
+  EXPECT_FALSE(v == w);
+}
+
+TEST(SmallVectorTest, CopyAndMoveAcrossInlineAndHeapStates) {
+  SmallVector<std::string, 2> heap;
+  for (int i = 0; i < 5; ++i) heap.push_back("s" + std::to_string(i));
+
+  SmallVector<std::string, 2> copied(heap);
+  EXPECT_EQ(copied, heap);
+
+  SmallVector<std::string, 2> moved(std::move(copied));
+  ASSERT_EQ(moved.size(), 5u);
+  EXPECT_EQ(moved[4], "s4");
+  EXPECT_TRUE(copied.empty());  // NOLINT(bugprone-use-after-move)
+
+  SmallVector<std::string, 2> inline_src;
+  inline_src.push_back("only");
+  SmallVector<std::string, 2> inline_dst(std::move(inline_src));
+  ASSERT_EQ(inline_dst.size(), 1u);
+  EXPECT_EQ(inline_dst[0], "only");
+  EXPECT_TRUE(inline_dst.inlined());
+
+  moved = inline_dst;  // heap state assigned a small value
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], "only");
+}
+
+TEST(SmallVectorTest, AssignFromReverseIterators) {
+  std::vector<int> src{1, 2, 3, 4};
+  SmallVector<int, 2> v;
+  v.assign(src.rbegin(), src.rend());
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 4);
+  EXPECT_EQ(v[3], 1);
+  // rbegin/rend on the SmallVector itself.
+  EXPECT_EQ(*v.rbegin(), 1);
+  EXPECT_EQ(*(v.rend() - 1), 4);
+  v.clear();
+  EXPECT_TRUE(v.empty());
 }
 
 }  // namespace

@@ -187,6 +187,49 @@ TEST(MessageTest, ViaStackLifo) {
   EXPECT_EQ(msg.vias().size(), 2u);
 }
 
+TEST(MessageTest, ViaOrderingSurvivesMultiHopForwarding) {
+  // Simulate the copy-on-forward chain UAC -> p1 -> p2: each hop clones the
+  // shared message and pushes its own Via. The wire format must list the
+  // newest Via first (RFC 3261 18.2.1), and the response return path must
+  // pop them in reverse push order.
+  Message invite = make_invite();  // top via: uac.us.ibm.com
+  Message hop1 = clone(invite);
+  hop1.push_via(Via{"SIP/2.0/UDP", "p1.example.com", "z9hG4bK-h1"});
+  hop1.decrement_max_forwards();
+  Message hop2 = clone(hop1);
+  hop2.push_via(Via{"SIP/2.0/UDP", "p2.example.com", "z9hG4bK-h2"});
+  hop2.decrement_max_forwards();
+
+  ASSERT_EQ(hop2.vias().size(), 3u);
+  EXPECT_EQ(hop2.top_via().sent_by, "p2.example.com");
+
+  // Wire order: top (most recent) Via line first.
+  const std::string wire = hop2.to_wire();
+  const auto pos_p2 = wire.find("Via: SIP/2.0/UDP p2.example.com");
+  const auto pos_p1 = wire.find("Via: SIP/2.0/UDP p1.example.com");
+  const auto pos_uac = wire.find("Via: SIP/2.0/UDP uac.us.ibm.com");
+  ASSERT_NE(pos_p2, std::string::npos);
+  ASSERT_NE(pos_p1, std::string::npos);
+  ASSERT_NE(pos_uac, std::string::npos);
+  EXPECT_LT(pos_p2, pos_p1);
+  EXPECT_LT(pos_p1, pos_uac);
+
+  // Round-trip through the parser preserves the stack exactly.
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().vias(), hop2.vias());
+  EXPECT_EQ(parsed.value().top_via().sent_by, "p2.example.com");
+
+  // Response return path: each proxy pops its own Via off the top.
+  Message resp = Message::response(hop2, 200);
+  EXPECT_EQ(resp.top_via().sent_by, "p2.example.com");
+  resp.pop_via();
+  EXPECT_EQ(resp.top_via().sent_by, "p1.example.com");
+  resp.pop_via();
+  EXPECT_EQ(resp.top_via().sent_by, "uac.us.ibm.com");
+  EXPECT_EQ(resp.vias(), invite.vias());
+}
+
 TEST(MessageTest, ExtensionHeaders) {
   Message msg = make_invite();
   EXPECT_FALSE(msg.header("X-Stateful").has_value());
@@ -434,7 +477,7 @@ TEST(TxnKeyTest, AckMatchesInviteServerKey) {
   Message ack = Message::request(
       Method::kAck, invite.request_uri(), invite.from(), invite.to(),
       invite.call_id(), CSeq{1, Method::kAck});
-  ack.vias().push_back(invite.top_via());
+  ack.push_via(invite.top_via());
   EXPECT_EQ(server_key(invite), server_key(ack));
 }
 
@@ -443,7 +486,7 @@ TEST(TxnKeyTest, CancelDoesNotMatchInvite) {
   Message cancel = Message::request(
       Method::kCancel, invite.request_uri(), invite.from(), invite.to(),
       invite.call_id(), CSeq{1, Method::kCancel});
-  cancel.vias().push_back(invite.top_via());
+  cancel.push_via(invite.top_via());
   EXPECT_FALSE(server_key(invite) == server_key(cancel));
 }
 
@@ -453,14 +496,14 @@ TEST(TxnKeyTest, ResponseMatchesClientKeyOfRequest) {
   // Client key of the response equals the key derived from the request's
   // top via + method.
   const TransactionKey expect{invite.top_via().branch,
-                              invite.top_via().sent_by, Method::kInvite};
+                              invite.top_via().sent_by.str(), Method::kInvite};
   EXPECT_EQ(client_key(resp), expect);
 }
 
 TEST(TxnKeyTest, DifferentBranchesDifferentKeys) {
   Message a = make_invite();
   Message b = make_invite();
-  b.vias().front().branch = "z9hG4bK-other";
+  b.top_via().branch = "z9hG4bK-other";
   EXPECT_FALSE(server_key(a) == server_key(b));
   TransactionKeyHash hash;
   EXPECT_NE(hash(server_key(a)), hash(server_key(b)));

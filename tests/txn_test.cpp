@@ -303,7 +303,7 @@ class InviteServerTest : public ::testing::Test {
     Message ack = Message::request(
         Method::kAck, inv->request_uri(), inv->from(), inv->to(),
         inv->call_id(), CSeq{1, Method::kAck});
-    ack.vias().push_back(inv->top_via());
+    ack.push_via(inv->top_via());
     return std::move(ack).finish();
   }
 };
@@ -487,7 +487,7 @@ TEST_F(ManagerTest, AckAfter2xxIsNewRequest) {
   Message ack = Message::request(
       Method::kAck, invite->request_uri(), invite->from(), invite->to(),
       invite->call_id(), CSeq{1, Method::kAck});
-  ack.vias().push_back(invite->top_via());
+  ack.push_via(invite->top_via());
   EXPECT_EQ(manager.dispatch(std::move(ack).finish()),
             Dispatch::kNewRequest);
 }
