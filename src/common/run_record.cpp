@@ -17,8 +17,12 @@ JsonValue RunRecord::to_json() const {
   v["retransmissions"] = retransmissions;
   v["calls_failed"] = calls_failed;
   v["busy_500"] = busy_500;
+  v["busy_503"] = busy_503;
+  v["calls_rejected"] = calls_rejected;
+  v["calls_timed_out"] = calls_timed_out;
   v["node_utilization"] = JsonValue::array_of(node_utilization);
   v["node_rejected"] = JsonValue::array_of(node_rejected);
+  v["node_rejected_503"] = JsonValue::array_of(node_rejected_503);
   v["wall_seconds"] = wall_seconds;
   if (controller_windows.is_array()) {
     v["controller_windows"] = controller_windows;

@@ -28,9 +28,13 @@ struct RunRecord {
   std::uint64_t retransmissions = 0;
   std::uint64_t calls_failed = 0;
   std::uint64_t busy_500 = 0;
+  std::uint64_t busy_503 = 0;         // overload-control rejections seen
+  std::uint64_t calls_rejected = 0;   // failed fast via 503
+  std::uint64_t calls_timed_out = 0;  // failed slow via timer B/F
 
   std::vector<double> node_utilization;        // per node, in [0,1]
   std::vector<std::uint64_t> node_rejected;    // 500s sent per node
+  std::vector<std::uint64_t> node_rejected_503;  // 503s sent per node
 
   double wall_seconds = 0.0;  // real time spent measuring this point
 

@@ -9,6 +9,8 @@ Observability::Observability(Options options) {
   }
   if (options.audit) {
     audit_ = std::make_unique<ControllerAuditLog>(options.audit_capacity);
+    overload_audit_ =
+        std::make_unique<OverloadAuditLog>(options.audit_capacity);
   }
 }
 
@@ -17,6 +19,7 @@ Sinks Observability::sinks() {
   s.metrics = metrics_.get();
   s.tracer = tracer_.get();
   s.audit = audit_.get();
+  s.overload_audit = overload_audit_.get();
   return s;
 }
 

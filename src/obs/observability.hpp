@@ -35,11 +35,15 @@ class Observability {
   [[nodiscard]] MetricRegistry* metrics() { return metrics_.get(); }
   [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
   [[nodiscard]] ControllerAuditLog* audit() { return audit_.get(); }
+  [[nodiscard]] OverloadAuditLog* overload_audit() {
+    return overload_audit_.get();
+  }
 
  private:
   std::unique_ptr<MetricRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<ControllerAuditLog> audit_;
+  std::unique_ptr<OverloadAuditLog> overload_audit_;
 };
 
 }  // namespace svk::obs

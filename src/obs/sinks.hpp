@@ -15,14 +15,17 @@ namespace svk::obs {
 class MetricRegistry;
 class Tracer;
 class ControllerAuditLog;
+class OverloadAuditLog;
 
 struct Sinks {
   MetricRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   ControllerAuditLog* audit = nullptr;
+  OverloadAuditLog* overload_audit = nullptr;
 
   [[nodiscard]] bool any() const {
-    return metrics != nullptr || tracer != nullptr || audit != nullptr;
+    return metrics != nullptr || tracer != nullptr || audit != nullptr ||
+           overload_audit != nullptr;
   }
 };
 

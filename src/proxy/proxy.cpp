@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sip/parser.hpp"
@@ -78,6 +79,14 @@ ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
           policy_->on_tick(sim_.now());
         });
     policy_timer_->start();
+  }
+  overload_ = overload::make_overload_policy(config_.overload,
+                                             routes_.paths().size());
+  if (overload_ != nullptr) {
+    overload_probe_ = std::make_unique<sim::UtilizationProbe>(cpu_, sim_);
+    overload_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.overload.control_period, [this] { overload_tick(); });
+    overload_timer_->start();
   }
   network_.attach(config_.address,
                   [this](Address from, const sip::MessagePtr& msg) {
@@ -247,6 +256,38 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
     return;
   }
 
+  // --- Overload control ---------------------------------------------------
+  // The admission gate sheds session-INITIATING work only, before the state
+  // decision (a shed INVITE must not pollute the delegation controller's
+  // per-path counters).
+  if (overload_ != nullptr && msg->method() == sip::Method::kInvite) {
+    const overload::AdmitDecision verdict =
+        overload_->admit(path_index, sim_.now());
+    if (verdict != overload::AdmitDecision::kAdmit) {
+      if (verdict == overload::AdmitDecision::kRejectLocal) {
+        ++stats_.rejected_503;
+      } else {
+        ++stats_.throttled_503;
+      }
+      if (const obs::Sinks& obs = sim_.obs(); obs.any()) {
+        if (obs.metrics != nullptr) {
+          obs.metrics->counter("overload.rejected_503").inc();
+        }
+        if (obs.tracer != nullptr) {
+          obs.tracer->instant(
+              "overload_503", "overload", sim_.now(),
+              config_.address.value(), "throttled",
+              verdict == overload::AdmitDecision::kRejectThrottled ? 1.0
+                                                                   : 0.0);
+        }
+      }
+      respond_overload_503(
+          *msg, from,
+          verdict == overload::AdmitDecision::kRejectLocal);
+      return;
+    }
+  }
+
   RequestContext ctx;
   ctx.path_index = path_index;
   ctx.delegable = delegable;
@@ -325,8 +366,11 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
   };
   // Overload control sheds session-INITIATING work only: a rejected INVITE
   // costs one failed setup, while shedding an in-dialog BYE would waste an
-  // entire established call's worth of completed work.
-  if (msg->method() == sip::Method::kInvite) {
+  // entire established call's worth of completed work. With an overload
+  // policy installed the occupancy gate above has already made the shedding
+  // decision and replaces the raw queue-delay bound (which only reacts once
+  // the backlog — and thus the damage — has fully built up).
+  if (msg->method() == sip::Method::kInvite && overload_ == nullptr) {
     if (!cpu_.submit(cost.total(), std::move(action))) {
       ++stats_.rejected_busy;
       if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
@@ -371,6 +415,7 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
   if (msg->method() == sip::Method::kInvite) {
     auto trying = sip::Message::response(*msg, sip::status::kTrying);
     trying.set_header("X-Stateful-At", config_.host);
+    stamp_oc(trying);
     server_txn.respond(std::move(trying).finish());
     ++stats_.generated_100;
   }
@@ -395,6 +440,7 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
             response->call_id(), response->from().tag, response->to().tag));
       }
     }
+    stamp_oc(up);
     auto up_ptr = std::move(up).finish();
     if (auto* srv = txns_.find_server(server_key)) {
       srv->respond(up_ptr);
@@ -406,9 +452,10 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
   callbacks.on_timeout = [this, server_key, msg] {
     ++stats_.proxy_timeouts;
     if (auto* srv = txns_.find_server(server_key)) {
-      srv->respond(
-          sip::Message::response(*msg, sip::status::kRequestTimeout)
-              .finish());
+      sip::Message timeout =
+          sip::Message::response(*msg, sip::status::kRequestTimeout);
+      stamp_oc(timeout);
+      srv->respond(std::move(timeout).finish());
     }
   };
 
@@ -425,8 +472,28 @@ void ProxyServer::execute_stateless_forward(sip::MessagePtr msg,
 // ---------------------------------------------------------------------------
 
 void ProxyServer::admit_response(Address from, const sip::MessagePtr& msg) {
-  (void)from;
   ++stats_.responses_in;
+
+  // Hop-by-hop overload feedback rides the response path: the downstream
+  // neighbor stamps its permitted rate as `oc` on *our* Via before sending
+  // the response up, so the param is read here — off our own top Via, keyed
+  // by the path the sender terminates.
+  if (overload_ != nullptr && !msg->vias().empty() &&
+      msg->top_via().sent_by == config_.host) {
+    if (const auto path = routes_.path_of(from)) {
+      if (msg->top_via().oc_rate >= 0.0) {
+        ++stats_.oc_advertisements;
+        overload_->on_rate_advertisement(*path, msg->top_via().oc_rate,
+                                         sim_.now());
+      } else if (msg->status_code() == sip::status::kServiceUnavailable) {
+        // A bare 503 from a hop that advertises no rate (e.g. a legacy
+        // neighbor) is still an overload hint. With an advert present the
+        // rate update above already carries the signal — no double penalty.
+        ++stats_.downstream_503;
+        overload_->on_downstream_503(*path, sim_.now());
+      }
+    }
+  }
   const bool matched = txns_.find_client(*msg) != nullptr;
   const HandlingMode mode =
       matched
@@ -459,6 +526,7 @@ void ProxyServer::admit_response(Address from, const sip::MessagePtr& msg) {
       return;  // not ours; drop
     }
     up.pop_via();
+    stamp_oc(up);
     forward_response_stateless(std::move(up).finish());
     ++stats_.responses_forwarded;
   });
@@ -480,9 +548,76 @@ void ProxyServer::respond_urgent(const sip::Message& req, int code,
   if (req.method() == sip::Method::kAck) return;  // never respond to ACK
   const CostVector cost = CpuCostModel::generate_error();
   charge(cost);
-  auto response = sip::Message::response(req, code).finish();
+  sip::Message response = sip::Message::response(req, code);
+  stamp_oc(response);
+  auto ptr = std::move(response).finish();
   cpu_.submit_urgent(cost.total(),
-                     [this, response, to] { send_charged(to, response); });
+                     [this, ptr, to] { send_charged(to, ptr); });
+}
+
+void ProxyServer::respond_overload_503(const sip::Message& req, Address to,
+                                       bool with_retry_after) {
+  if (req.method() == sip::Method::kAck) return;
+  const CostVector cost = CpuCostModel::generate_error();
+  charge(cost);
+  sip::Message response =
+      sip::Message::response(req, sip::status::kServiceUnavailable);
+  // Retry-After is integer delta-seconds (RFC 3261 20.33). Only the local
+  // gate's 503s carry it: a locally overloaded node needs the source to
+  // back off wholesale. Throttled rejections (shed on a neighbor's behalf)
+  // deliberately omit it — the token bucket already meters the flow to the
+  // advertised rate, and stacking an on/off generator pause on top of rate
+  // control re-creates the oscillation RFC 7339 exists to avoid.
+  if (with_retry_after) {
+    response.set_header(
+        "Retry-After",
+        std::to_string(
+            static_cast<int>(config_.overload.retry_after_s + 0.5)));
+  }
+  stamp_oc(response);
+  auto ptr = std::move(response).finish();
+  cpu_.submit_urgent(cost.total(),
+                     [this, ptr, to] { send_charged(to, ptr); });
+}
+
+void ProxyServer::stamp_oc(sip::Message& response) const {
+  if (overload_ == nullptr || response.vias().empty()) return;
+  const double rate = overload_->advertised_rate();
+  if (rate >= 0.0) response.top_via().oc_rate = rate;
+}
+
+void ProxyServer::overload_tick() {
+  // Occupancy = mean utilization over the period plus the backlog's growth
+  // normalized to the period. Utilization alone pins at 1.0 under overload
+  // (no control error left to regulate on); the backlog term keeps the
+  // signal proportional when the queue is building, which both the shed
+  // fraction and the advertised rate divide by.
+  const double period_s = config_.overload.control_period.to_seconds();
+  const double util = overload_probe_->utilization();
+  overload_probe_->restart();
+  const double backlog_growth =
+      period_s > 0.0 ? cpu_.backlog().to_seconds() / period_s : 0.0;
+  overload_->on_occupancy_sample(util + backlog_growth, sim_.now());
+
+  const overload::OverloadStats& ostats = overload_->stats();
+  const obs::Sinks& obs = sim_.obs();
+  if (obs.tracer != nullptr) {
+    obs.tracer->counter("occupancy", sim_.now(), config_.address.value(),
+                        "occ", ostats.smoothed_occupancy);
+    obs.tracer->counter("advertised_rate", sim_.now(),
+                        config_.address.value(), "cps",
+                        overload_->advertised_rate());
+  }
+  if (obs.overload_audit != nullptr) {
+    obs::OverloadAuditRecord record;
+    record.node_tid = config_.address.value();
+    record.at = sim_.now();
+    record.occupancy = ostats.smoothed_occupancy;
+    record.advertised_rate = overload_->advertised_rate();
+    record.local_rejects = ostats.local_rejects;
+    record.throttled_rejects = ostats.throttled_rejects;
+    obs.overload_audit->append(record);
+  }
 }
 
 void ProxyServer::handle_cancel(Address from, const sip::MessagePtr& msg) {
@@ -497,8 +632,9 @@ void ProxyServer::handle_cancel(Address from, const sip::MessagePtr& msg) {
     }
     auto& cancel_txn =
         txns_.create_server(msg, sender_to(from), txn::ServerCallbacks{});
-    cancel_txn.respond(
-        sip::Message::response(*msg, sip::status::kOk).finish());
+    sip::Message ok = sip::Message::response(*msg, sip::status::kOk);
+    stamp_oc(ok);
+    cancel_txn.respond(std::move(ok).finish());
 
     // Did we relay the INVITE statefully? Then cancel our own downstream
     // leg with the branch of the forwarded INVITE (RFC 3261 9.1).
@@ -575,6 +711,7 @@ void ProxyServer::handle_register(Address from, const sip::MessagePtr& msg) {
                                     txn::ServerCallbacks{});
     sip::Message ok = sip::Message::response(*msg, sip::status::kOk);
     ok.set_header("Expires", std::to_string(expires_s));
+    stamp_oc(ok);
     txn.respond(std::move(ok).finish());
   });
 }

@@ -26,6 +26,7 @@
 
 #include "common/types.hpp"
 #include "dialog/dialog.hpp"
+#include "overload/overload.hpp"
 #include "profile/cost_model.hpp"
 #include "profile/profiler.hpp"
 #include "proxy/auth.hpp"
@@ -86,6 +87,10 @@ struct ProxyConfig {
   /// (fault-ablation knob; probes and probe replies are never dropped here
   /// so they stay available as the repair channel).
   double overload_signal_loss = 0.0;
+  /// Overload-control subsystem (src/overload). kNone keeps the legacy
+  /// queue-delay bound + 500; the other kinds replace it with 503-based
+  /// admission (local occupancy gate, optionally hop-by-hop rate feedback).
+  overload::OverloadConfig overload;
 };
 
 struct ProxyStats {
@@ -107,6 +112,10 @@ struct ProxyStats {
   std::uint64_t overload_signals_dropped = 0;  // shed by overload_signal_loss
   std::uint64_t overload_probes_sent = 0;
   std::uint64_t overload_probes_received = 0;
+  std::uint64_t rejected_503 = 0;      // 503 sent by the local occupancy gate
+  std::uint64_t throttled_503 = 0;     // 503 sent on a neighbor's behalf
+  std::uint64_t downstream_503 = 0;    // bare 503s received from downstream
+  std::uint64_t oc_advertisements = 0; // oc Via params read off responses
   /// Stateful decisions taken on traffic already marked stateful upstream.
   /// Legitimate under static all-stateful; must stay 0 under SERvartuka
   /// (Algorithm 1 forwards marked traffic statelessly) — the chaos
@@ -136,6 +145,10 @@ class ProxyServer {
   [[nodiscard]] const sim::CpuQueue& cpu() const { return cpu_; }
   [[nodiscard]] sim::CpuQueue& cpu() { return cpu_; }
   [[nodiscard]] StatePolicy& policy() { return *policy_; }
+  /// Overload-control policy; null when ControlKind::kNone.
+  [[nodiscard]] const overload::OverloadPolicy* overload_policy() const {
+    return overload_.get();
+  }
   [[nodiscard]] DigestAuthenticator& authenticator() { return auth_; }
   [[nodiscard]] const ProxyConfig& config() const { return config_; }
   [[nodiscard]] const txn::TransactionManager& transactions() const {
@@ -174,6 +187,20 @@ class ProxyServer {
   /// Builds and sends a locally generated response, bypassing admission
   /// (servers answer 500 even when saturated).
   void respond_urgent(const sip::Message& req, int code, Address to);
+
+  /// Overload rejection: 503 (+ oc feedback when advertising). Retry-After
+  /// goes only on local-gate rejections; throttled ones are already
+  /// rate-metered by the token bucket (see the definition for why).
+  void respond_overload_503(const sip::Message& req, Address to,
+                            bool with_retry_after);
+
+  /// Stamps this node's advertised rate as an `oc` param on the top Via of
+  /// an outgoing response (the upstream neighbor's Via — it reads the param
+  /// off its own Via on receipt). No-op when no policy or no restriction.
+  void stamp_oc(sip::Message& response) const;
+
+  /// Overload control tick: occupancy sample -> policy, audit, trace.
+  void overload_tick();
 
   /// Forwards a response (our Via already popped) toward the previous hop.
   void forward_response_stateless(const sip::MessagePtr& msg);
@@ -216,6 +243,10 @@ class ProxyServer {
   sip::BranchGenerator branches_;
   std::unique_ptr<sim::PeriodicTimer> policy_timer_;
   std::unique_ptr<sim::UtilizationProbe> tick_probe_;
+  /// Overload-control subsystem (null when ControlKind::kNone).
+  std::unique_ptr<overload::OverloadPolicy> overload_;
+  std::unique_ptr<sim::UtilizationProbe> overload_probe_;
+  std::unique_ptr<sim::PeriodicTimer> overload_timer_;
   /// Stateful INVITE relays: upstream server key -> the INVITE we forwarded
   /// downstream (needed to construct a matching CANCEL). Entries are
   /// removed when the server transaction terminates.

@@ -55,6 +55,28 @@ void CpuQueue::enqueue(double cost, Completion done) {
   }
 }
 
+void CpuQueue::set_capacity_factor(double factor) {
+  assert(factor > 0.0);
+  if (factor == capacity_factor_) return;
+  const SimTime now = sim_.now();
+  if (busy_until_ > now) {
+    // Rescale the unserved portion of the backlog: work that needed
+    // `remaining` wall time at the old speed needs remaining * old/new at
+    // the new one.
+    const SimTime remaining = busy_until_ - now;
+    const SimTime rescaled =
+        SimTime::seconds(remaining.to_seconds() * capacity_factor_ / factor);
+    busy_until_ = now + rescaled;
+    // busy_elapsed(t) = total_service_ - (busy_until_ - t): folding the
+    // backlog delta into total_service_ keeps busy_elapsed continuous at
+    // the change instant (past busy time already accrued stays accrued) and
+    // integrates to the new busy_until_ going forward, so UtilizationProbe
+    // windows spanning the change stay in [0, 1].
+    total_service_ += rescaled - remaining;
+  }
+  capacity_factor_ = factor;
+}
+
 SimTime CpuQueue::backlog() const {
   const SimTime now = sim_.now();
   return busy_until_ > now ? busy_until_ - now : SimTime{};

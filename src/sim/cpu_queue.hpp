@@ -8,7 +8,6 @@
 // internal queues fill).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 
@@ -59,13 +58,14 @@ class CpuQueue {
   [[nodiscard]] double capacity() const { return config_.capacity; }
 
   /// Fault injection: scales the effective capacity (1.0 = nominal, 0.5 =
-  /// half speed). Applies to work submitted after the change; already
-  /// scheduled service is not re-timed (the slice in flight finishes at its
-  /// old speed, matching a frequency change taking effect between jobs).
-  void set_capacity_factor(double factor) {
-    assert(factor > 0.0);
-    capacity_factor_ = factor;
-  }
+  /// half speed). The unserved backlog is rescaled to the new speed at the
+  /// change instant, so a degrade (or recovery) immediately stretches (or
+  /// shrinks) the queueing delay admission and utilization see — not just
+  /// the service time of work submitted afterwards. Completion callbacks
+  /// already in the event queue keep their original fire times (the model
+  /// treats queued jobs as dispatched); the backlog clock is what admission,
+  /// backlog() and busy_elapsed() read.
+  void set_capacity_factor(double factor);
   [[nodiscard]] double capacity_factor() const { return capacity_factor_; }
 
   /// Node id used for trace events (the owning proxy's address); 0 until

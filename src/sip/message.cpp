@@ -1,5 +1,6 @@
 #include "sip/message.hpp"
 
+#include <cstdio>
 #include <utility>
 
 namespace svk::sip {
@@ -101,7 +102,7 @@ std::string Message::to_wire() const {
                          reason_.size() + 96 * (2 + (contact_ ? 1 : 0));
   for (const Via& via : vias_) {
     estimate += 16 + via.protocol.size() + via.sent_by.size() +
-                via.branch.size();
+                via.branch.size() + (via.oc_rate >= 0.0 ? 24 : 0);
   }
   estimate += 64 * (routes_.size() + record_routes_.size());
   for (const auto& [key, value] : extra_) {
@@ -133,6 +134,11 @@ std::string Message::to_wire() const {
     if (!via.branch.empty()) {
       out += ";branch=";
       out += via.branch;
+    }
+    if (via.oc_rate >= 0.0) {
+      char oc[32];
+      std::snprintf(oc, sizeof(oc), ";oc=%.3f", via.oc_rate);
+      out += oc;
     }
     out += "\r\n";
   }

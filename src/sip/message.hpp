@@ -44,6 +44,10 @@ struct Via {
   Token protocol{"SIP/2.0/UDP"};
   Token sent_by;
   std::string branch;
+  /// RFC 7339-style overload-control feedback: the permitted request rate
+  /// (cps) this hop advertises to its upstream neighbor, piggybacked on the
+  /// Via it stamps onto responses. Negative = no advertisement.
+  double oc_rate = -1.0;
 
   friend bool operator==(const Via&, const Via&) = default;
 };

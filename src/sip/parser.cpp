@@ -72,6 +72,15 @@ Result<Via> parse_via(std::string_view value) {
       item = trim(item);
       if (item.starts_with("branch=")) {
         via.branch = std::string(item.substr(7));
+      } else if (item.starts_with("oc=")) {
+        const std::string_view num = item.substr(3);
+        double rate = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(num.data(), num.data() + num.size(), rate);
+        if (ec == std::errc{} && ptr == num.data() + num.size() &&
+            rate >= 0.0) {
+          via.oc_rate = rate;
+        }
       }
       // Other Via params (rport, received, ...) tolerated and dropped.
     }

@@ -250,13 +250,29 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
   assert(response && response->is_response());
   if (state_ == ServerState::kTerminated) return;
   const int code = response->status_code();
-  last_response_ = response;
-  send_(response);
 
   if (sip::is_provisional(code)) {
+    // A provisional after a final must not regress Completed/Confirmed back
+    // to Proceeding: the regression would strand the armed completion
+    // timers (G/H or J check for kCompleted and would never terminate the
+    // transaction) and resume retransmitting the wrong last_response_.
+    if (state_ != ServerState::kTrying &&
+        state_ != ServerState::kProceeding) {
+      return;
+    }
+    last_response_ = response;
+    send_(response);
     state_ = ServerState::kProceeding;
     return;
   }
+  // Duplicate final from the TU: the first final won and its timers are
+  // armed; sending and re-arming here would overwrite the still-armed
+  // timer ids, leaking the old events into the wheel to double-fire.
+  if (state_ != ServerState::kTrying && state_ != ServerState::kProceeding) {
+    return;
+  }
+  last_response_ = response;
+  send_(response);
   if (is_invite_) {
     if (sip::is_success(code)) {
       // 2xx: INVITE server transaction terminates at once (17.2.1); 2xx
@@ -265,7 +281,8 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
     } else {
       state_ = ServerState::kCompleted;
       arm_response_retransmit(rtx_interval_);
-      timeout_timer_ = sim_.schedule(timers_.timer_h(), [this] {
+      timeout_timer_ = sim_.reschedule(timeout_timer_, timers_.timer_h(),
+                                       [this] {
         timeout_timer_ = 0;
         if (state_ != ServerState::kCompleted) return;
         if (callbacks_.on_timeout) callbacks_.on_timeout();
@@ -274,7 +291,7 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
     }
   } else {
     state_ = ServerState::kCompleted;
-    linger_timer_ = sim_.schedule(timers_.timer_j(), [this] {
+    linger_timer_ = sim_.reschedule(linger_timer_, timers_.timer_j(), [this] {
       linger_timer_ = 0;
       terminate();
     });

@@ -20,6 +20,15 @@ struct UacMetrics {
   std::uint64_t trying_received = 0;     // 100 Trying (statefulness witness)
   std::uint64_t ringing_received = 0;
   std::uint64_t busy_500_received = 0;   // 500 Server Busy finals
+  std::uint64_t busy_503_received = 0;   // 503 Service Unavailable finals
+  /// calls_failed split: explicit 503 rejection vs transaction timeout.
+  /// Rejected calls fail in ~one RTT and cost the chain almost nothing;
+  /// timed-out calls burn 64*T1 of retransmissions first — the difference
+  /// between controlled shedding and congestion collapse.
+  std::uint64_t calls_rejected = 0;
+  std::uint64_t calls_timed_out = 0;
+  /// Times the generator paused for a 503 Retry-After.
+  std::uint64_t backoff_pauses = 0;
   std::uint64_t retransmissions = 0;     // request retransmits we performed
   /// INVITE-sent to 200-received latency, milliseconds.
   Histogram setup_time_ms{10000.0, 2000};

@@ -17,10 +17,14 @@ struct Snapshot {
   std::uint64_t attempted = 0;
   std::uint64_t failed = 0;
   std::uint64_t busy_500 = 0;
+  std::uint64_t busy_503 = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t trying = 0;
   std::uint64_t established = 0;
   std::vector<std::uint64_t> proxy_rejected;
+  std::vector<std::uint64_t> proxy_rejected_503;
   std::vector<std::uint64_t> proxy_stateful;
   std::vector<std::uint64_t> proxy_stateless;
 };
@@ -33,6 +37,9 @@ Snapshot take_snapshot(TestBed& bed) {
     const UacMetrics& m = uac->metrics();
     s.failed += m.calls_failed;
     s.busy_500 += m.busy_500_received;
+    s.busy_503 += m.busy_503_received;
+    s.rejected += m.calls_rejected;
+    s.timed_out += m.calls_timed_out;
     s.retransmissions += m.retransmissions;
     s.trying += m.trying_received;
     s.established += m.calls_established;
@@ -40,6 +47,7 @@ Snapshot take_snapshot(TestBed& bed) {
   for (const auto& proxy : bed.proxies()) {
     const proxy::ProxyStats& p = proxy->stats();
     s.proxy_rejected.push_back(p.rejected_busy);
+    s.proxy_rejected_503.push_back(p.rejected_503 + p.throttled_503);
     s.proxy_stateful.push_back(p.forwarded_stateful);
     s.proxy_stateless.push_back(p.forwarded_stateless);
   }
@@ -88,8 +96,12 @@ RunRecord to_run_record(const PointResult& point, double rate_scale,
   record.retransmissions = point.retransmissions;
   record.calls_failed = point.calls_failed;
   record.busy_500 = point.busy_500;
+  record.busy_503 = point.busy_503;
+  record.calls_rejected = point.calls_rejected;
+  record.calls_timed_out = point.calls_timed_out;
   record.node_utilization = point.proxy_utilization;
   record.node_rejected = point.proxy_rejected;
+  record.node_rejected_503 = point.proxy_rejected_503;
   record.wall_seconds = point.wall_seconds;
   if (!point.controller_windows.empty()) {
     record.controller_windows = obs::windows_to_json(point.controller_windows);
@@ -139,6 +151,9 @@ ObservedPoint measure_point_retained(const BedFactory& factory,
           : 0.0;
   result.calls_failed = after.failed - before.failed;
   result.busy_500 = after.busy_500 - before.busy_500;
+  result.busy_503 = after.busy_503 - before.busy_503;
+  result.calls_rejected = after.rejected - before.rejected;
+  result.calls_timed_out = after.timed_out - before.timed_out;
   result.retransmissions = after.retransmissions - before.retransmissions;
   result.trying_received = after.trying - before.trying;
   result.calls_established_uac = after.established - before.established;
@@ -173,6 +188,8 @@ ObservedPoint measure_point_retained(const BedFactory& factory,
     result.proxy_utilization.push_back(probes[i].utilization());
     result.proxy_rejected.push_back(after.proxy_rejected[i] -
                                     before.proxy_rejected[i]);
+    result.proxy_rejected_503.push_back(after.proxy_rejected_503[i] -
+                                        before.proxy_rejected_503[i]);
     result.proxy_stateful.push_back(after.proxy_stateful[i] -
                                     before.proxy_stateful[i]);
     result.proxy_stateless.push_back(after.proxy_stateless[i] -

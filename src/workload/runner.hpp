@@ -41,12 +41,16 @@ struct PointResult {
 
   std::uint64_t calls_failed = 0;
   std::uint64_t busy_500 = 0;
+  std::uint64_t busy_503 = 0;          // 503 Service Unavailable finals
+  std::uint64_t calls_rejected = 0;    // failed via explicit 503 (cheap)
+  std::uint64_t calls_timed_out = 0;   // failed via timer B/F (expensive)
   std::uint64_t retransmissions = 0;
   std::uint64_t trying_received = 0;
   std::uint64_t calls_established_uac = 0;
 
   std::vector<double> proxy_utilization;       // per proxy, in [0,1]
   std::vector<std::uint64_t> proxy_rejected;   // 500s sent per proxy
+  std::vector<std::uint64_t> proxy_rejected_503;  // 503s sent per proxy
   std::vector<std::uint64_t> proxy_stateful;   // stateful forwards per proxy
   std::vector<std::uint64_t> proxy_stateless;  // stateless forwards per proxy
 

@@ -69,6 +69,7 @@ proxy::ProxyConfig proxy_config(const ScenarioOptions& options,
   config.stateless_mode = options.stateless_mode;
   config.authenticate = authenticate;
   config.overload_signal_loss = options.overload_signal_loss;
+  config.overload = options.overload_control;
   if (options.distribute_auth) {
     config.auth_scope = proxy::ProxyConfig::AuthScope::kWhenStateful;
     config.auth_realm = std::string(kSharedRealm);

@@ -62,6 +62,10 @@ struct ScenarioOptions {
   /// under SIP T1.
   SimTime max_queue_delay = SimTime::millis(100);
 
+  /// Overload-control subsystem (src/overload), applied to every proxy.
+  /// kNone keeps the legacy queue-bound + 500 behavior.
+  overload::OverloadConfig overload_control;
+
   /// Optional hook to adjust the SERvartuka controller configuration
   /// (ablations: disable smoothing, feedback, change headroom, ...).
   std::function<void(core::ControllerConfig&)> controller_tweak;

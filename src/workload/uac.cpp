@@ -1,6 +1,7 @@
 #include "workload/uac.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <memory>
 #include <utility>
 
@@ -52,10 +53,38 @@ void Uac::schedule_next_call() {
   const double gap = config_.poisson_arrivals
                          ? rng_.exponential(mean_gap)
                          : mean_gap;
-  next_call_timer_ = sim_.schedule(SimTime::seconds(gap), [this] {
+  SimTime delay = SimTime::seconds(gap);
+  // Retry-After backoff: never place a call before the deadline, but keep
+  // the nominal pacing beyond it (the load resumes at the configured rate,
+  // not in a burst of deferred calls).
+  if (backoff_until_ > sim_.now() + delay) {
+    delay = backoff_until_ - sim_.now();
+  }
+  next_call_timer_ = sim_.schedule(delay, [this] {
     place_call();
     schedule_next_call();
   });
+}
+
+void Uac::apply_retry_after(const sip::Message& response) {
+  const auto header = response.header("Retry-After");
+  if (!header) return;  // no directive: only the failed call is lost
+  int delta_s = 0;
+  std::from_chars(header->data(), header->data() + header->size(), delta_s);
+  if (delta_s <= 0) return;
+  const SimTime until =
+      sim_.now() + SimTime::seconds(static_cast<double>(delta_s));
+  if (until <= backoff_until_) return;  // already backing off longer
+  backoff_until_ = until;
+  ++metrics_.backoff_pauses;
+  if (running_ && next_call_timer_ != 0) {
+    // Push the pending next-call event out to the deadline.
+    next_call_timer_ =
+        sim_.reschedule(next_call_timer_, backoff_until_ - sim_.now(), [this] {
+          place_call();
+          schedule_next_call();
+        });
+  }
 }
 
 txn::SendFn Uac::counting_sender(sip::Method method) {
@@ -115,6 +144,7 @@ void Uac::place_call() {
   };
   callbacks.on_timeout = [this, call_id] {
     ++metrics_.calls_failed;
+    ++metrics_.calls_timed_out;
     calls_.erase(call_id);
   };
   txns_.create_client(invite_ptr, counting_sender(sip::Method::kInvite),
@@ -186,10 +216,15 @@ void Uac::on_invite_response(const std::string& call_id,
   // Final non-2xx: failed (or successfully abandoned) call; the
   // transaction sends the hop ACK itself.
   if (code == sip::status::kServerError) ++metrics_.busy_500_received;
+  if (code == sip::status::kServiceUnavailable) {
+    ++metrics_.busy_503_received;
+    apply_retry_after(*msg);
+  }
   if (call.cancelled) {
     ++metrics_.calls_cancelled;
   } else {
     ++metrics_.calls_failed;
+    if (code == sip::status::kServiceUnavailable) ++metrics_.calls_rejected;
     if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
       obs.metrics->counter("uac.calls_failed").inc();
     }
@@ -235,12 +270,17 @@ void Uac::send_bye(const std::string& call_id) {
       if (msg->status_code() == sip::status::kServerError) {
         ++metrics_.busy_500_received;
       }
+      if (msg->status_code() == sip::status::kServiceUnavailable) {
+        ++metrics_.busy_503_received;
+        apply_retry_after(*msg);
+      }
       ++metrics_.calls_failed;
     }
     calls_.erase(call_id);
   };
   callbacks.on_timeout = [this, call_id] {
     ++metrics_.calls_failed;
+    ++metrics_.calls_timed_out;
     calls_.erase(call_id);
   };
   txns_.create_client(bye_ptr, counting_sender(sip::Method::kBye),

@@ -81,6 +81,9 @@ class Uac {
 
   void schedule_next_call();
   void place_call();
+  /// Honors a 503's Retry-After: pushes the next-call time out to the
+  /// backoff deadline (SIPp's -rsa behavior; RFC 3261 21.5.4).
+  void apply_retry_after(const sip::Message& response);
   void on_datagram(Address from, const sip::MessagePtr& msg);
   void on_invite_response(const std::string& call_id,
                           const sip::MessagePtr& msg);
@@ -101,6 +104,8 @@ class Uac {
   std::unordered_map<std::string, Call> calls_;
   bool running_{false};
   sim::EventId next_call_timer_{0};
+  /// No new calls before this time (503 Retry-After backoff).
+  SimTime backoff_until_;
   std::uint64_t call_counter_{0};
 };
 

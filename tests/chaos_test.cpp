@@ -191,6 +191,14 @@ void run_chaos_seed(const std::string& topology, const ChaosSetup& setup) {
         << proxy->config().host;
     EXPECT_EQ(proxy->dialogs().active_count(), 0u) << proxy->config().host;
   }
+  // ...and no transaction leaked an armed timer into the simulator: the
+  // only events legitimately still pending are the per-proxy periodic
+  // controller/overload ticks (at most two per proxy). A wedged
+  // transaction — e.g. one knocked back to Proceeding by a late
+  // provisional, retransmitting forever — would keep extra events alive
+  // past any drain and trip this bound.
+  EXPECT_LE(bed->sim().pending_count(), 2 * bed->proxies().size())
+      << "events leaked past the post-load drain";
 
   // Controller sanity + bounded re-convergence, from the audit log.
   ASSERT_NE(bed->observability()->audit(), nullptr);
@@ -230,6 +238,57 @@ TEST(ChaosTest, ParallelForkSchedulesHoldInvariants) {
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     run_chaos_seed("parallel_fork", make_parallel_fork(seed));
   }
+}
+
+/// Hand-written cpu_degrade-heavy schedule: overlapping degrade/recover
+/// cycles on both proxies of the two-series topology. Every transition
+/// lands while the victim is loaded, so CpuQueue::set_capacity_factor must
+/// rescale a non-empty backlog (the satellite bugfix) in both directions —
+/// degrade mid-service and recover mid-service — without wedging the
+/// controller or leaking transactions.
+ChaosSetup make_degrade_storm(std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.name = "degrade_storm";
+  plan.seed = seed;  // provenance only; the schedule itself is fixed
+  auto degrade = [&plan](double at_s, double dur_s, const char* host,
+                         double factor) {
+    fault::FaultEvent event;
+    event.kind = fault::FaultKind::kCpuDegrade;
+    event.at = SimTime::seconds(at_s);
+    event.duration = SimTime::seconds(dur_s);
+    event.host = host;
+    event.value = factor;
+    plan.events.push_back(event);
+  };
+  degrade(2.0, 1.2, "proxy0.example.net", 0.45);
+  degrade(2.6, 1.6, "proxy1.example.net", 0.60);
+  degrade(4.5, 1.0, "proxy1.example.net", 0.40);
+  degrade(6.0, 1.5, "proxy0.example.net", 0.70);
+
+  auto options = base_options(seed, 2);
+  options.faults = plan;
+
+  ChaosSetup setup;
+  setup.plan = plan;
+  setup.factory = workload::two_series_with_internal(0.7, options);
+  return setup;
+}
+
+TEST(ChaosTest, CpuDegradeStormHoldsInvariants) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    run_chaos_seed("degrade_storm", make_degrade_storm(seed));
+  }
+}
+
+TEST(ChaosTest, CpuDegradeStormReplayIsBitIdentical) {
+  const ChaosSetup setup = make_degrade_storm(1);
+  const auto a = workload::measure_point(setup.factory, setup.offered);
+  const auto b = workload::measure_point(setup.factory, setup.offered);
+  RunRecord ra = workload::to_run_record(a, 1.0, "degrade_storm");
+  RunRecord rb = workload::to_run_record(b, 1.0, "degrade_storm");
+  ra.wall_seconds = 0.0;
+  rb.wall_seconds = 0.0;
+  EXPECT_EQ(ra.to_json().dump(), rb.to_json().dump());
 }
 
 TEST(ChaosTest, ReplaySameSeedIsBitIdentical) {

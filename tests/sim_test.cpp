@@ -504,13 +504,49 @@ TEST(CpuQueueTest, CapacityFactorScalesServiceTime) {
   CpuQueue cpu(sim, CpuQueueConfig{100.0, SimTime::seconds(10.0)});
   EXPECT_DOUBLE_EQ(cpu.capacity_factor(), 1.0);
   cpu.set_capacity_factor(0.5);  // degraded: half the nominal capacity
-  SimTime slow_done, nominal_done;
+  SimTime slow_done;
   ASSERT_TRUE(cpu.submit(50.0, [&] { slow_done = sim.now(); }));
-  cpu.set_capacity_factor(1.0);  // restored: applies to new work only
-  ASSERT_TRUE(cpu.submit(50.0, [&] { nominal_done = sim.now(); }));
+  EXPECT_EQ(cpu.backlog(), SimTime::seconds(1.0));  // 50 / (100 * 0.5)
   sim.run();
-  EXPECT_EQ(slow_done, SimTime::seconds(1.0));     // 50 / (100 * 0.5)
-  EXPECT_EQ(nominal_done, SimTime::millis(1500));  // + 50 / 100
+  EXPECT_EQ(slow_done, SimTime::seconds(1.0));
+}
+
+TEST(CpuQueueTest, DegradeRescalesUnservedBacklog) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(100.0)});
+  ASSERT_TRUE(cpu.submit(4.0, nullptr));  // 4s of work at nominal speed
+  sim.run_until(SimTime::seconds(1.0));   // 3s still unserved
+  cpu.set_capacity_factor(0.5);           // degrade: the remainder takes 6s
+  EXPECT_EQ(cpu.backlog(), SimTime::seconds(6.0));
+  // New work queues behind the stretched backlog at the degraded rate.
+  SimTime done;
+  ASSERT_TRUE(cpu.submit(1.0, [&] { done = sim.now(); }));
+  sim.run();
+  EXPECT_EQ(done, SimTime::seconds(9.0));  // 1 + 6 + 1/(1*0.5)
+}
+
+TEST(CpuQueueTest, RecoveryShrinksUnservedBacklog) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(100.0)});
+  cpu.set_capacity_factor(0.5);
+  ASSERT_TRUE(cpu.submit(2.0, nullptr));  // 4s at half speed
+  sim.run_until(SimTime::seconds(2.0));   // 2s still unserved
+  cpu.set_capacity_factor(1.0);           // recover: the remainder takes 1s
+  EXPECT_EQ(cpu.backlog(), SimTime::seconds(1.0));
+}
+
+TEST(CpuQueueTest, BusyElapsedContinuousAcrossRescale) {
+  Simulator sim;
+  CpuQueue cpu(sim, CpuQueueConfig{1.0, SimTime::seconds(100.0)});
+  UtilizationProbe probe(cpu, sim);
+  ASSERT_TRUE(cpu.submit(10.0, nullptr));  // saturated well past the window
+  sim.run_until(SimTime::seconds(1.0));
+  const SimTime before = cpu.busy_elapsed(sim.now());
+  cpu.set_capacity_factor(0.25);  // degrade mid-window
+  EXPECT_EQ(cpu.busy_elapsed(sim.now()), before);  // no jump at the change
+  sim.run_until(SimTime::seconds(2.0));
+  // Saturated for the whole window regardless of the mid-window rescale.
+  EXPECT_DOUBLE_EQ(probe.utilization(), 1.0);
 }
 
 TEST(CpuQueueTest, FifoBacklogAccumulates) {

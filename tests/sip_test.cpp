@@ -351,6 +351,46 @@ INSTANTIATE_TEST_SUITE_P(CommonCodes, WireStatusRoundTrip,
                                            404, 407, 408, 483, 486, 500, 503,
                                            603));
 
+TEST(WireTest, ViaOcParameterRoundTrip) {
+  // RFC 7339-style overload feedback: the `oc` Via parameter carries the
+  // permitted upstream rate and must survive serialize -> parse intact.
+  const Message req = make_invite();
+  Message resp = Message::response(req, 200);
+  resp.top_via().oc_rate = 1234.5;
+
+  const std::string wire = resp.to_wire();
+  EXPECT_NE(wire.find(";oc=1234.500"), std::string::npos);
+
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_DOUBLE_EQ(parsed.value().top_via().oc_rate, 1234.5);
+}
+
+TEST(WireTest, ViaOcAbsentByDefault) {
+  // Without an overload policy no `oc` parameter reaches the wire, so
+  // pre-overload-control byte streams (and their digests) are unchanged.
+  const Message req = make_invite();
+  const Message resp = Message::response(req, 200);
+  const std::string wire = resp.to_wire();
+  EXPECT_EQ(wire.find(";oc="), std::string::npos);
+
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_LT(parsed.value().top_via().oc_rate, 0.0);
+}
+
+TEST(WireTest, ViaOcMalformedIgnored) {
+  const Message req = make_invite();
+  Message resp = Message::response(req, 200);
+  std::string wire = resp.to_wire();
+  const auto pos = wire.find("\r\n", wire.find("Via:"));
+  ASSERT_NE(pos, std::string::npos);
+  wire.insert(pos, ";oc=banana");
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_LT(parsed.value().top_via().oc_rate, 0.0);
+}
+
 TEST(WireTest, DisplayNameRoundTrip) {
   Message msg = make_invite();
   const auto parsed = Parser::parse(msg.to_wire());

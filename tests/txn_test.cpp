@@ -153,6 +153,44 @@ TEST_F(InviteClientTest, TimerCRefreshesOnEveryProvisional) {
   EXPECT_EQ(timeouts, 1);
 }
 
+TEST_F(InviteClientTest, TimerCRefreshesAcrossManyProvisionals) {
+  // A session-progress stream (media gateways send 183 every few seconds)
+  // must never let timer C fire while provisionals keep arriving, and the
+  // refreshes must reschedule the same timer rather than accumulate armed
+  // events in the simulator.
+  auto txn = make();
+  for (int i = 0; i < 12; ++i) {
+    txn->receive_response(make_response(*txn->request(), 183));
+    sim.run_until(SimTime::seconds(20.0 * (i + 1)));
+    EXPECT_EQ(timeouts, 0);
+  }
+  // Last refresh at 220s; timer C (180s) fires at 400s, exactly once.
+  sim.run_until(SimTime::seconds(399.0));
+  EXPECT_EQ(timeouts, 0);
+  sim.run_until(SimTime::seconds(401.0));
+  EXPECT_EQ(timeouts, 1);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST_F(InviteClientTest, DuplicateFinalAbsorbedWithoutTimerChurn) {
+  // Retransmitted non-2xx finals in Completed are re-ACKed but must not
+  // touch timer D: the transaction still terminates 32s after the FIRST
+  // final, and draining leaves no armed events behind.
+  auto txn = make();
+  txn->receive_response(make_response(*txn->request(), 486));
+  sim.run_until(SimTime::seconds(10.0));
+  txn->receive_response(make_response(*txn->request(), 486));
+  EXPECT_EQ(wire.count_method(Method::kAck), 2);
+  EXPECT_EQ(responses, (std::vector<int>{486}));
+  sim.run_until(SimTime::seconds(31.0));
+  EXPECT_EQ(txn->state(), ClientState::kCompleted);  // D not restarted early
+  sim.run_until(SimTime::seconds(33.0));
+  EXPECT_EQ(txn->state(), ClientState::kTerminated);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
 TEST_F(InviteClientTest, FinalResponseCancelsTimerC) {
   auto txn = make();
   txn->receive_response(make_response(*txn->request(), 180));
@@ -365,6 +403,63 @@ TEST_F(InviteServerTest, DuplicateAckAbsorbedInConfirmed) {
   EXPECT_EQ(acks, 1);
 }
 
+TEST_F(InviteServerTest, DuplicateFinalDoesNotExtendTimerH) {
+  // The TU answering twice (e.g. a forked context picking a second best
+  // response after the first was already sent) must be a no-op: the wire
+  // sees one status line, timer H still fires 64*T1 after the FIRST final
+  // (not the second), and no orphaned timer event survives the drain.
+  auto txn = make();
+  txn->respond(make_response(*invite, 486));
+  sim.run_until(SimTime::seconds(10.0));
+  txn->respond(make_response(*invite, 503));  // late second final: ignored
+  EXPECT_EQ(wire.count_status(503), 0);
+  EXPECT_EQ(txn->state(), ServerState::kCompleted);
+  sim.run_until(SimTime::seconds(31.9));
+  EXPECT_EQ(timeouts, 0);
+  sim.run_until(SimTime::seconds(32.1));  // H at 32s, not 42s
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST_F(InviteServerTest, ProvisionalAfterFinalIgnored) {
+  // A straggling 180 arriving at the TU after the final must not drag the
+  // transaction back to Proceeding: timer G would then retransmit the
+  // provisional as "last response" and timers G/H would be stranded armed.
+  auto txn = make();
+  txn->respond(make_response(*invite, 486));
+  txn->respond(make_response(*invite, 180));  // late provisional: ignored
+  EXPECT_EQ(wire.count_status(180), 0);
+  EXPECT_EQ(txn->state(), ServerState::kCompleted);
+  // Timer G keeps retransmitting the *final*, not the provisional.
+  sim.run_until(SimTime::millis(1600));
+  EXPECT_EQ(wire.count_status(486), 3);
+  EXPECT_EQ(wire.count_status(180), 0);
+  sim.run();
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST_F(InviteServerTest, AckAbsorptionInConfirmedLeavesOnlyTimerI) {
+  // Every duplicate ACK in Confirmed is absorbed without touching timer I;
+  // the transaction still terminates at T4 and drains clean.
+  auto txn = make();
+  txn->respond(make_response(*invite, 486));
+  txn->receive_request(ack_for(invite));
+  EXPECT_EQ(txn->state(), ServerState::kConfirmed);
+  for (int i = 0; i < 5; ++i) {
+    sim.run_until(SimTime::millis(200 * (i + 1)));
+    txn->receive_request(ack_for(invite));
+  }
+  EXPECT_EQ(acks, 1);
+  EXPECT_EQ(txn->state(), ServerState::kConfirmed);
+  sim.run_until(SimTime::seconds(6.0));  // I = T4 = 5s after first ACK
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
 TEST_F(InviteServerTest, TimerHTimesOutWithoutAck) {
   auto txn = make();
   txn->respond(make_response(*invite, 486));
@@ -416,6 +511,37 @@ TEST_F(NonInviteServerTest, TimerJTerminates) {
   txn->respond(make_response(*bye, 200));
   sim.run_until(SimTime::seconds(33.0));
   EXPECT_EQ(txn->state(), ServerState::kTerminated);
+}
+
+TEST_F(NonInviteServerTest, DuplicateFinalDoesNotExtendTimerJ) {
+  // Second final from the TU is dropped: one 200 on the wire, timer J still
+  // fires 64*T1 after the first final, and the drain leaves no events.
+  auto txn = make();
+  txn->respond(make_response(*bye, 200));
+  sim.run_until(SimTime::seconds(10.0));
+  txn->respond(make_response(*bye, 503));  // ignored
+  EXPECT_EQ(wire.count_status(503), 0);
+  EXPECT_EQ(wire.count_status(200), 1);
+  sim.run_until(SimTime::seconds(31.9));
+  EXPECT_EQ(txn->state(), ServerState::kCompleted);  // J at 32s, not 42s
+  sim.run_until(SimTime::seconds(32.1));
+  EXPECT_EQ(txn->state(), ServerState::kTerminated);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST_F(NonInviteServerTest, ProvisionalAfterFinalIgnored) {
+  auto txn = make();
+  txn->respond(make_response(*bye, 200));
+  txn->respond(make_response(*bye, 100));  // late provisional: ignored
+  EXPECT_EQ(wire.count_status(100), 0);
+  EXPECT_EQ(txn->state(), ServerState::kCompleted);
+  // Retransmitted request still replays the final, not the provisional.
+  txn->receive_request(bye);
+  EXPECT_EQ(wire.count_status(200), 2);
+  EXPECT_EQ(wire.count_status(100), 0);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
 }
 
 TEST_F(NonInviteServerTest, NoTimerGRetransmissions) {
