@@ -1,0 +1,48 @@
+#include "check/violations.hpp"
+
+#include <utility>
+
+namespace svk::check {
+
+void ViolationLog::add(std::string kind, SimTime at, std::string detail) {
+  ++total_;
+  if (entries_.size() < kMaxStored) {
+    entries_.push_back(Violation{std::move(kind), at, std::move(detail)});
+  }
+}
+
+JsonValue ViolationLog::to_json() const {
+  JsonValue root = JsonValue::object();
+  root["total"] = JsonValue(total_);
+  JsonValue list = JsonValue::array();
+  for (const Violation& v : entries_) {
+    JsonValue entry = JsonValue::object();
+    entry["kind"] = JsonValue(v.kind);
+    entry["at_s"] = JsonValue(v.at.to_seconds());
+    entry["detail"] = JsonValue(v.detail);
+    list.push_back(std::move(entry));
+  }
+  root["violations"] = std::move(list);
+  return root;
+}
+
+std::string ViolationLog::summary(std::size_t max_lines) const {
+  std::string out;
+  const std::size_t n = entries_.size() < max_lines ? entries_.size()
+                                                    : max_lines;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Violation& v = entries_[i];
+    out += v.kind;
+    out += " @";
+    out += std::to_string(v.at.to_seconds());
+    out += "s: ";
+    out += v.detail;
+    out += '\n';
+  }
+  if (total_ > n) {
+    out += "... and " + std::to_string(total_ - n) + " more\n";
+  }
+  return out;
+}
+
+}  // namespace svk::check

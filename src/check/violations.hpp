@@ -1,0 +1,49 @@
+// Violation log shared by the conformance oracle and the run-invariant
+// checker (src/check). Checking is diagnostic machinery: a violation is
+// recorded with full context and the run continues, so one bug surfaces
+// every downstream symptom in a single run instead of dying on the first
+// assert. Tests assert the log is empty; the chaos harness dumps it as a
+// JSON artifact next to the failing FaultPlan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/sim_time.hpp"
+
+namespace svk::check {
+
+struct Violation {
+  std::string kind;    // dotted id, e.g. "oracle.state", "wire.premature_483"
+  SimTime at;          // sim time the divergence was observed
+  std::string detail;  // full event context, human-readable
+};
+
+class ViolationLog {
+ public:
+  /// Entries beyond this are counted but not stored (one bug under load can
+  /// produce thousands of identical reports).
+  static constexpr std::size_t kMaxStored = 512;
+
+  void add(std::string kind, SimTime at, std::string detail);
+
+  [[nodiscard]] const std::vector<Violation>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+
+  /// {"total": N, "violations": [{kind, at_s, detail}, ...]}
+  [[nodiscard]] JsonValue to_json() const;
+
+  /// First few entries on one line each — for test failure messages.
+  [[nodiscard]] std::string summary(std::size_t max_lines = 10) const;
+
+ private:
+  std::vector<Violation> entries_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace svk::check

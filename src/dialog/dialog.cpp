@@ -73,4 +73,30 @@ Dialog* DialogManager::match(const sip::Message& request) {
 
 void DialogManager::terminate(const DialogId& id) { dialogs_.erase(id); }
 
+bool DialogManager::abandon_early(const sip::Message& msg) {
+  const auto id = DialogId::make(msg.call_id(), msg.from().tag, "");
+  const auto it = dialogs_.find(id);
+  if (it == dialogs_.end() || it->second.state != DialogState::kEarly) {
+    return false;
+  }
+  dialogs_.erase(it);
+  ++abandoned_;
+  return true;
+}
+
+std::size_t DialogManager::expire_early(SimTime now, SimTime ttl) {
+  std::size_t removed = 0;
+  for (auto it = dialogs_.begin(); it != dialogs_.end();) {
+    if (it->second.state == DialogState::kEarly &&
+        now - it->second.created_at >= ttl) {
+      it = dialogs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  expired_ += removed;
+  return removed;
+}
+
 }  // namespace svk::dialog

@@ -62,12 +62,28 @@ class DialogManager {
   /// Removes a dialog (after the BYE transaction completes).
   void terminate(const DialogId& id);
 
+  /// Removes the early dialog a failed INVITE belongs to (non-2xx final or
+  /// transaction timeout — the call will never confirm). Keyed like
+  /// create_early: Call-ID + From tag + empty To tag. Returns true when an
+  /// early dialog was removed.
+  bool abandon_early(const sip::Message& msg);
+
+  /// Reaps early dialogs older than `ttl` (lost finals, crashed endpoints —
+  /// calls that will never complete and whose failure this element never
+  /// saw). Returns the number removed. Confirmed dialogs are never expired:
+  /// an established call legitimately lasts arbitrarily long.
+  std::size_t expire_early(SimTime now, SimTime ttl);
+
   [[nodiscard]] std::size_t active_count() const { return dialogs_.size(); }
   [[nodiscard]] std::uint64_t created_count() const { return created_; }
+  [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
+  [[nodiscard]] std::uint64_t abandoned_count() const { return abandoned_; }
 
  private:
   std::unordered_map<DialogId, Dialog, DialogIdHash> dialogs_;
   std::uint64_t created_{0};
+  std::uint64_t expired_{0};
+  std::uint64_t abandoned_{0};
 };
 
 }  // namespace svk::dialog

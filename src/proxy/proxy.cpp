@@ -80,6 +80,23 @@ ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
         });
     policy_timer_->start();
   }
+  const bool dialog_mode =
+      config_.stateful_mode == HandlingMode::kDialogStateful ||
+      config_.stateful_mode == HandlingMode::kDialogStatefulAuth;
+  if (dialog_mode && config_.dialog_ttl > SimTime{}) {
+    // Reap early dialogs nothing will ever confirm (lost finals, crashed
+    // endpoints). Sweeping at ttl/2 bounds residency at 1.5*ttl.
+    dialog_sweep_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, SimTime::nanos(config_.dialog_ttl.ns() / 2), [this] {
+          stats_.dialogs_expired +=
+              dialogs_.expire_early(sim_.now(), config_.dialog_ttl);
+          if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
+            obs.metrics->gauge("dialogs_live." + config_.host)
+                .set(static_cast<double>(dialogs_.active_count()));
+          }
+        });
+    dialog_sweep_->start();
+  }
   overload_ = overload::make_overload_policy(config_.overload,
                                              routes_.paths().size());
   if (overload_ != nullptr) {
@@ -171,11 +188,19 @@ void ProxyServer::admit_request(Address from, const sip::MessagePtr& msg) {
 void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
   // --- Routing --------------------------------------------------------
   sip::Message fwd = sip::clone(*msg);
-  fwd.decrement_max_forwards();
-  if (fwd.max_forwards() <= 0) {
+  // RFC 3261 16.3 step 4: hop-count exhaustion means the request *arrived*
+  // with Max-Forwards 0 — the check precedes the decrement, so a request
+  // arriving with 1 is still forwarded (carrying 0).
+  int mf_on_arrival = msg->max_forwards();
+  if (config_.debug_predecrement_max_forwards) {
+    --mf_on_arrival;  // reintroduces the off-by-one for the mutation smoke
+  }
+  if (mf_on_arrival <= 0) {
+    ++stats_.rejected_483;
     respond_urgent(*msg, sip::status::kTooManyHops, from);
     return;
   }
+  fwd.decrement_max_forwards();
 
   // Route-set handling (RFC 3261 16.4): strip our own Route entry, then
   // prefer the remaining route set over request-URI routing.
@@ -439,6 +464,11 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
         dialogs_.terminate(dialog::DialogId::make(
             response->call_id(), response->from().tag, response->to().tag));
       }
+    } else if (dialog_mode && sip::is_final(response->status_code()) &&
+               response->cseq().method == sip::Method::kInvite) {
+      // The INVITE failed: its early dialog will never confirm and must
+      // not linger in the table (PR7 leak fix).
+      if (dialogs_.abandon_early(*response)) ++stats_.dialogs_abandoned;
     }
     stamp_oc(up);
     auto up_ptr = std::move(up).finish();
@@ -449,8 +479,12 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
     }
     ++stats_.responses_forwarded;
   };
-  callbacks.on_timeout = [this, server_key, msg] {
+  callbacks.on_timeout = [this, server_key, msg, dialog_mode] {
     ++stats_.proxy_timeouts;
+    if (dialog_mode && msg->method() == sip::Method::kInvite) {
+      // Downstream never answered: the early dialog is dead.
+      if (dialogs_.abandon_early(*msg)) ++stats_.dialogs_abandoned;
+    }
     if (auto* srv = txns_.find_server(server_key)) {
       sip::Message timeout =
           sip::Message::response(*msg, sip::status::kRequestTimeout);
@@ -520,6 +554,9 @@ void ProxyServer::admit_response(Address from, const sip::MessagePtr& msg) {
         dialogs_.terminate(dialog::DialogId::make(
             msg->call_id(), msg->from().tag, msg->to().tag));
       }
+    } else if (dialog_mode && sip::is_final(msg->status_code()) &&
+               msg->cseq().method == sip::Method::kInvite) {
+      if (dialogs_.abandon_early(*msg)) ++stats_.dialogs_abandoned;
     }
     sip::Message up = sip::clone(*msg);
     if (up.vias().empty() || up.top_via().sent_by != config_.host) {
@@ -625,11 +662,24 @@ void ProxyServer::handle_cancel(Address from, const sip::MessagePtr& msg) {
       CpuCostModel::forward(config_.stateless_mode, MsgKind::kOther);
   charge(cost);
   cpu_.submit_urgent(cost.total(), [this, from, msg] {
-    // The CANCEL always gets its own transaction and an immediate 200.
     if (auto* existing = txns_.find_server(*msg)) {
       existing->receive_request(msg);
       return;
     }
+    // RFC 3261 16.3 step 4 applies to CANCEL like any other request: an
+    // exhausted hop count is answered 483 — never silently dropped, the
+    // canceller's transaction must complete.
+    if (msg->max_forwards() <= 0) {
+      ++stats_.rejected_483;
+      auto& cancel_txn =
+          txns_.create_server(msg, sender_to(from), txn::ServerCallbacks{});
+      sip::Message reject =
+          sip::Message::response(*msg, sip::status::kTooManyHops);
+      stamp_oc(reject);
+      cancel_txn.respond(std::move(reject).finish());
+      return;
+    }
+    // The CANCEL gets its own transaction and an immediate 200.
     auto& cancel_txn =
         txns_.create_server(msg, sender_to(from), txn::ServerCallbacks{});
     sip::Message ok = sip::Message::response(*msg, sip::status::kOk);
@@ -659,8 +709,7 @@ void ProxyServer::handle_cancel(Address from, const sip::MessagePtr& msg) {
     // the same route; the deterministic stateless branch reproduces the
     // branch the INVITE carried downstream, so it matches there.
     sip::Message fwd = sip::clone(*msg);
-    fwd.decrement_max_forwards();
-    if (fwd.max_forwards() <= 0) return;
+    fwd.decrement_max_forwards();  // arrival value >= 1, checked above
     const auto decision = routes_.route(fwd.request_uri());
     if (!decision) return;
     Address target;

@@ -91,6 +91,15 @@ struct ProxyConfig {
   /// queue-delay bound + 500; the other kinds replace it with 503-based
   /// admission (local occupancy gate, optionally hop-by-hop rate feedback).
   overload::OverloadConfig overload;
+  /// Early (unconfirmed) dialogs older than this are expired by a periodic
+  /// sweep — they belong to calls that will never complete (lost finals,
+  /// crashed endpoints) and would otherwise accumulate forever. Only
+  /// consulted in dialog-stateful modes. Zero disables the sweep.
+  SimTime dialog_ttl = SimTime::seconds(300);
+  /// Test hook for the conformance mutation smoke: reintroduces the
+  /// decrement-before-test Max-Forwards off-by-one (a request arriving
+  /// with Max-Forwards 1 is wrongly rejected 483).
+  bool debug_predecrement_max_forwards = false;
 };
 
 struct ProxyStats {
@@ -106,6 +115,9 @@ struct ProxyStats {
   std::uint64_t auth_failures = 0;
   std::uint64_t route_failures = 0;
   std::uint64_t proxy_timeouts = 0;      // client transactions timed out
+  std::uint64_t rejected_483 = 0;        // 483 Too Many Hops sent
+  std::uint64_t dialogs_expired = 0;     // early dialogs reaped by the sweep
+  std::uint64_t dialogs_abandoned = 0;   // early dialogs ended by failure
   std::uint64_t registrations = 0;       // REGISTER bindings accepted
   std::uint64_t overload_signals_sent = 0;
   std::uint64_t overload_signals_received = 0;
@@ -156,6 +168,12 @@ class ProxyServer {
   }
   [[nodiscard]] const dialog::DialogManager& dialogs() const {
     return dialogs_;
+  }
+
+  /// Installs a conformance tap on this proxy's transaction manager (see
+  /// txn/tap.hpp). Install before traffic flows; null disables.
+  void set_conformance_tap(txn::ConformanceTap* tap) {
+    txns_.set_conformance_tap(tap);
   }
 
  private:
@@ -247,6 +265,8 @@ class ProxyServer {
   std::unique_ptr<overload::OverloadPolicy> overload_;
   std::unique_ptr<sim::UtilizationProbe> overload_probe_;
   std::unique_ptr<sim::PeriodicTimer> overload_timer_;
+  /// Early-dialog expiry sweep; only armed in dialog-stateful modes.
+  std::unique_ptr<sim::PeriodicTimer> dialog_sweep_;
   /// Stateful INVITE relays: upstream server key -> the INVITE we forwarded
   /// downstream (needed to construct a matching CANCEL). Entries are
   /// removed when the server transaction terminates.

@@ -16,6 +16,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -153,6 +154,17 @@ class Network {
   [[nodiscard]] NetworkFaultState& faults() { return faults_; }
   [[nodiscard]] const NetworkFaultState& faults() const { return faults_; }
 
+  /// Read-only wire taps for the checking subsystem (src/check). The send
+  /// tap fires for every send attempt, before fault/loss evaluation — a
+  /// checker validates the *sender's* behaviour, which loss downstream must
+  /// not excuse. The deliver tap fires only for datagrams actually handed
+  /// to the destination's handler (a crashed destination sees nothing).
+  /// Null (the default) disables the tap; taps must not mutate anything the
+  /// simulation reads, so checked runs stay bit-identical.
+  using WireTap = std::function<void(Address, Address, const Payload&)>;
+  void set_send_tap(WireTap tap) { send_tap_ = std::move(tap); }
+  void set_deliver_tap(WireTap tap) { deliver_tap_ = std::move(tap); }
+
   /// Sends a datagram. Delivery (or silent loss) happens after the link
   /// latency; UDP semantics, no delivery guarantee, no reordering within a
   /// link (FIFO scheduling preserves send order for equal latencies). Link
@@ -161,6 +173,7 @@ class Network {
   /// loses the datagram).
   void send(Address from, Address to, Payload payload) {
     ++stats_.sent;
+    if (send_tap_) send_tap_(from, to, payload);
     const NetworkFaultState::Disturbance* burst = nullptr;
     if (faults_.any()) {
       if (faults_.host_down(from)) {
@@ -204,6 +217,7 @@ class Network {
         return;
       }
       ++stats_.delivered;
+      if (deliver_tap_) deliver_tap_(from, to, payload);
       it->second(from, payload);
     });
   }
@@ -243,6 +257,8 @@ class Network {
   std::unordered_map<std::uint32_t, std::uint64_t> no_route_by_dest_;
   NetworkFaultState faults_;
   NetworkStats stats_;
+  WireTap send_tap_;
+  WireTap deliver_tap_;
 };
 
 }  // namespace svk::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <string>
+#include <vector>
 
 namespace svk::sip {
 namespace {
@@ -86,6 +87,34 @@ Result<Via> parse_via(std::string_view value) {
     }
   }
   return via;
+}
+
+/// Splits a header value on top-level commas — the combined-row form of
+/// RFC 3261 7.3.1, "Via: a, b" being equivalent to two Via lines. Commas
+/// inside angle brackets or double quotes do not split.
+void split_header_values(std::string_view value,
+                         std::vector<std::string_view>& out) {
+  std::size_t start = 0;
+  int angle = 0;
+  bool quoted = false;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    if (quoted) {
+      if (c == '"') quoted = false;
+      continue;
+    }
+    if (c == '"') {
+      quoted = true;
+    } else if (c == '<') {
+      ++angle;
+    } else if (c == '>') {
+      if (angle > 0) --angle;
+    } else if (c == ',' && angle == 0) {
+      out.push_back(value.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(value.substr(start));
 }
 
 /// Extracts the URI between angle brackets of "<...>" header values like
@@ -198,10 +227,24 @@ Result<Message> Parser::parse(std::string_view wire) {
   bool saw_to = false;
   std::size_t content_length = 0;
 
+  std::string folded;  // storage for unfolded multi-line header values
+  std::vector<std::string_view> parts;
   while (true) {
     if (rest.empty()) break;
-    const std::string_view line = next_line(rest);
+    std::string_view line = next_line(rest);
     if (line.empty()) break;  // blank line: end of headers
+
+    // RFC 3261 7.3: a line beginning with SP or HT continues the previous
+    // header line; the break and leading whitespace collapse to one SP.
+    if (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+      folded.assign(line);
+      while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+        const std::string_view continuation = trim(next_line(rest));
+        folded += ' ';
+        folded += continuation;
+      }
+      line = folded;
+    }
 
     const auto colon = line.find(':');
     if (colon == std::string_view::npos) {
@@ -212,9 +255,13 @@ Result<Message> Parser::parse(std::string_view wire) {
     const std::string_view value = trim(line.substr(colon + 1));
 
     if (name == "Via" || name == "v") {
-      auto via = parse_via(value);
-      if (!via) return via.error();
-      msg.vias_.push_back(std::move(via).value());
+      parts.clear();
+      split_header_values(value, parts);
+      for (const std::string_view part : parts) {
+        auto via = parse_via(part);
+        if (!via) return via.error();
+        msg.vias_.push_back(std::move(via).value());
+      }
     } else if (name == "From" || name == "f") {
       auto na = parse_name_addr(value);
       if (!na) return na.error();
@@ -247,13 +294,21 @@ Result<Message> Parser::parse(std::string_view wire) {
         return make_error("parse: bad Max-Forwards");
       }
     } else if (name == "Route") {
-      auto uri = parse_bracketed_uri(value);
-      if (!uri) return uri.error();
-      msg.routes_.push_back(std::move(uri).value());
+      parts.clear();
+      split_header_values(value, parts);
+      for (const std::string_view part : parts) {
+        auto uri = parse_bracketed_uri(part);
+        if (!uri) return uri.error();
+        msg.routes_.push_back(std::move(uri).value());
+      }
     } else if (name == "Record-Route") {
-      auto uri = parse_bracketed_uri(value);
-      if (!uri) return uri.error();
-      msg.record_routes_.push_back(std::move(uri).value());
+      parts.clear();
+      split_header_values(value, parts);
+      for (const std::string_view part : parts) {
+        auto uri = parse_bracketed_uri(part);
+        if (!uri) return uri.error();
+        msg.record_routes_.push_back(std::move(uri).value());
+      }
     } else if (name == "Content-Length" || name == "l") {
       int length = 0;
       if (!parse_int(value, length) || length < 0) {

@@ -52,6 +52,10 @@ ClientTransaction& TransactionManager::create_client(
     obs.metrics->counter("txn.client_created").inc();
   }
   note_active();
+  if (tap_ != nullptr) {
+    ref.set_tap(tap_);
+    tap_->on_client_created(&ref, key, timers_);
+  }
   ref.start();
   return ref;
 }
@@ -74,6 +78,10 @@ ServerTransaction& TransactionManager::create_server(
     obs.metrics->counter("txn.server_created").inc();
   }
   note_active();
+  if (tap_ != nullptr) {
+    ref.set_tap(tap_);
+    tap_->on_server_created(&ref, key, timers_);
+  }
   return ref;
 }
 
@@ -104,6 +112,11 @@ void TransactionManager::schedule_client_removal(
   // Removal is deferred to a fresh event so the transaction's member
   // functions can safely finish executing on the current stack.
   sim_.schedule(SimTime{}, [this, key] {
+    if (tap_ != nullptr) {
+      if (const auto it = clients_.find(key); it != clients_.end()) {
+        tap_->on_client_removed(it->second.get());
+      }
+    }
     clients_.erase(key);
     note_active();
   });
@@ -112,6 +125,11 @@ void TransactionManager::schedule_client_removal(
 void TransactionManager::schedule_server_removal(
     const sip::TransactionKey& key) {
   sim_.schedule(SimTime{}, [this, key] {
+    if (tap_ != nullptr) {
+      if (const auto it = servers_.find(key); it != servers_.end()) {
+        tap_->on_server_removed(it->second.get());
+      }
+    }
     servers_.erase(key);
     note_active();
   });

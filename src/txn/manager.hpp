@@ -60,6 +60,13 @@ class TransactionManager {
   /// set. Tracing reads the simulator's observability sinks.
   void set_trace_tid(std::uint32_t tid) { trace_tid_ = tid; }
 
+  /// Installs the conformance tap on this table: transactions created from
+  /// now on notify the tap of their creation, every wire send, every
+  /// externally visible event, and their removal. Null disables checking.
+  /// Install before traffic flows; already-live transactions are not
+  /// retrofitted.
+  void set_conformance_tap(ConformanceTap* tap) { tap_ = tap; }
+
  private:
   void schedule_client_removal(const sip::TransactionKey& key);
   void schedule_server_removal(const sip::TransactionKey& key);
@@ -68,6 +75,7 @@ class TransactionManager {
 
   sim::Simulator& sim_;
   TimerConfig timers_;
+  ConformanceTap* tap_{nullptr};
   std::uint32_t trace_tid_{0};
   std::uint64_t created_{0};
   std::unordered_map<sip::TransactionKey, std::unique_ptr<ClientTransaction>,

@@ -50,12 +50,18 @@ void ClientTransaction::cancel_timers() {
   rtx_timer_ = timeout_timer_ = linger_timer_ = 0;
 }
 
+void ClientTransaction::wire_send(const sip::MessagePtr& msg) {
+  if (tap_ != nullptr) tap_->on_client_send(this, msg);
+  send_(msg);
+}
+
 void ClientTransaction::start() {
-  send_(request_);
+  wire_send(request_);
   arm_retransmit(rtx_interval_);
   const SimTime timeout =
       is_invite_ ? timers_.timer_b() : timers_.timer_f();
   timeout_timer_ = sim_.schedule(timeout, [this] { fire_timeout(); });
+  notify(ClientEvent::kStart);
 }
 
 void ClientTransaction::fire_timeout() {
@@ -65,11 +71,13 @@ void ClientTransaction::fire_timeout() {
   const bool may_timeout =
       state_ == ClientState::kCalling || state_ == ClientState::kTrying ||
       state_ == ClientState::kProceeding;
-  if (!may_timeout) return;
-  state_ = ClientState::kTerminated;
-  cancel_timers();
-  if (callbacks_.on_timeout) callbacks_.on_timeout();
-  if (callbacks_.on_terminated) callbacks_.on_terminated();
+  if (may_timeout) {
+    state_ = ClientState::kTerminated;
+    cancel_timers();
+    if (callbacks_.on_timeout) callbacks_.on_timeout();
+    if (callbacks_.on_terminated) callbacks_.on_terminated();
+  }
+  notify(ClientEvent::kTimerTimeout);
 }
 
 void ClientTransaction::arm_retransmit(SimTime interval) {
@@ -78,24 +86,26 @@ void ClientTransaction::arm_retransmit(SimTime interval) {
     const bool retransmitting =
         state_ == ClientState::kCalling || state_ == ClientState::kTrying ||
         (!is_invite_ && state_ == ClientState::kProceeding);
-    if (!retransmitting) return;
-    ++retransmits_;
-    send_(request_);
-    // Timer A doubles unbounded; timer E doubles capped at T2; in the
-    // non-INVITE Proceeding state retransmission continues at T2 flat.
-    if (is_invite_) {
-      rtx_interval_ = 2 * rtx_interval_;
-    } else if (state_ == ClientState::kProceeding) {
-      rtx_interval_ = timers_.t2;
-    } else {
-      rtx_interval_ = std::min(2 * rtx_interval_, timers_.t2);
+    if (retransmitting) {
+      ++retransmits_;
+      wire_send(request_);
+      // Timer A doubles unbounded; timer E doubles capped at T2; in the
+      // non-INVITE Proceeding state retransmission continues at T2 flat.
+      if (is_invite_) {
+        rtx_interval_ = 2 * rtx_interval_;
+      } else if (state_ == ClientState::kProceeding) {
+        rtx_interval_ = timers_.t2;
+      } else {
+        rtx_interval_ = std::min(2 * rtx_interval_, timers_.t2);
+      }
+      arm_retransmit(rtx_interval_);
     }
-    arm_retransmit(rtx_interval_);
+    notify(ClientEvent::kTimerRetransmit);
   });
 }
 
 void ClientTransaction::send_ack_for(const sip::MessagePtr& response) {
-  send_(build_non2xx_ack(*request_, *response));
+  wire_send(build_non2xx_ack(*request_, *response));
 }
 
 void ClientTransaction::enter_completed_invite(
@@ -108,6 +118,7 @@ void ClientTransaction::enter_completed_invite(
   linger_timer_ = sim_.schedule(timers_.timer_d(), [this] {
     linger_timer_ = 0;
     terminate();
+    notify(ClientEvent::kTimerLinger);
   });
 }
 
@@ -119,6 +130,12 @@ void ClientTransaction::terminate() {
 }
 
 void ClientTransaction::receive_response(const sip::MessagePtr& response) {
+  receive_response_impl(response);
+  notify(ClientEvent::kRxResponse, response.get());
+}
+
+void ClientTransaction::receive_response_impl(
+    const sip::MessagePtr& response) {
   assert(response && response->is_response());
   const int code = response->status_code();
 
@@ -164,6 +181,7 @@ void ClientTransaction::receive_response(const sip::MessagePtr& response) {
         linger_timer_ = sim_.schedule(timers_.timer_k(), [this] {
           linger_timer_ = 0;
           terminate();
+          notify(ClientEvent::kTimerLinger);
         });
       }
       return;
@@ -214,7 +232,17 @@ void ServerTransaction::terminate() {
   if (callbacks_.on_terminated) callbacks_.on_terminated();
 }
 
+void ServerTransaction::wire_send(const sip::MessagePtr& msg) {
+  if (tap_ != nullptr) tap_->on_server_send(this, msg);
+  send_(msg);
+}
+
 void ServerTransaction::receive_request(const sip::MessagePtr& request) {
+  receive_request_impl(request);
+  notify(ServerEvent::kRxRequest, request.get());
+}
+
+void ServerTransaction::receive_request_impl(const sip::MessagePtr& request) {
   assert(request && request->is_request());
   if (state_ == ServerState::kTerminated) return;
 
@@ -229,6 +257,7 @@ void ServerTransaction::receive_request(const sip::MessagePtr& request) {
       linger_timer_ = sim_.schedule(timers_.timer_i(), [this] {
         linger_timer_ = 0;
         terminate();
+        notify(ServerEvent::kTimerLinger);
       });
       if (callbacks_.on_ack) callbacks_.on_ack(request);
     }
@@ -242,11 +271,16 @@ void ServerTransaction::receive_request(const sip::MessagePtr& request) {
   if (last_response_ &&
       (state_ == ServerState::kProceeding ||
        state_ == ServerState::kCompleted)) {
-    send_(last_response_);
+    wire_send(last_response_);
   }
 }
 
 void ServerTransaction::respond(const sip::MessagePtr& response) {
+  respond_impl(response);
+  notify(ServerEvent::kRespond, response.get());
+}
+
+void ServerTransaction::respond_impl(const sip::MessagePtr& response) {
   assert(response && response->is_response());
   if (state_ == ServerState::kTerminated) return;
   const int code = response->status_code();
@@ -261,7 +295,7 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
       return;
     }
     last_response_ = response;
-    send_(response);
+    wire_send(response);
     state_ = ServerState::kProceeding;
     return;
   }
@@ -272,7 +306,7 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
     return;
   }
   last_response_ = response;
-  send_(response);
+  wire_send(response);
   if (is_invite_) {
     if (sip::is_success(code)) {
       // 2xx: INVITE server transaction terminates at once (17.2.1); 2xx
@@ -284,9 +318,11 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
       timeout_timer_ = sim_.reschedule(timeout_timer_, timers_.timer_h(),
                                        [this] {
         timeout_timer_ = 0;
-        if (state_ != ServerState::kCompleted) return;
-        if (callbacks_.on_timeout) callbacks_.on_timeout();
-        terminate();
+        if (state_ == ServerState::kCompleted) {
+          if (callbacks_.on_timeout) callbacks_.on_timeout();
+          terminate();
+        }
+        notify(ServerEvent::kTimerTimeout);
       });
     }
   } else {
@@ -294,6 +330,7 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
     linger_timer_ = sim_.reschedule(linger_timer_, timers_.timer_j(), [this] {
       linger_timer_ = 0;
       terminate();
+      notify(ServerEvent::kTimerLinger);
     });
   }
 }
@@ -301,10 +338,12 @@ void ServerTransaction::respond(const sip::MessagePtr& response) {
 void ServerTransaction::arm_response_retransmit(SimTime interval) {
   rtx_timer_ = sim_.schedule(interval, [this] {
     rtx_timer_ = 0;
-    if (state_ != ServerState::kCompleted) return;
-    send_(last_response_);
-    rtx_interval_ = std::min(2 * rtx_interval_, timers_.t2);
-    arm_response_retransmit(rtx_interval_);
+    if (state_ == ServerState::kCompleted) {
+      wire_send(last_response_);
+      rtx_interval_ = std::min(2 * rtx_interval_, timers_.t2);
+      arm_response_retransmit(rtx_interval_);
+    }
+    notify(ServerEvent::kTimerRetransmit);
   });
 }
 

@@ -16,6 +16,7 @@
 #include "sim/simulator.hpp"
 #include "sip/branch.hpp"
 #include "sip/message.hpp"
+#include "txn/tap.hpp"
 #include "txn/timers.hpp"
 
 namespace svk::txn {
@@ -68,14 +69,25 @@ class ClientTransaction {
   [[nodiscard]] ClientState state() const { return state_; }
   [[nodiscard]] const sip::MessagePtr& request() const { return request_; }
   [[nodiscard]] int retransmit_count() const { return retransmits_; }
+  [[nodiscard]] bool is_invite() const { return is_invite_; }
+
+  /// Installs (or clears) the conformance tap. Null disables all
+  /// notifications; the manager sets this before start().
+  void set_tap(ConformanceTap* tap) { tap_ = tap; }
 
  private:
+  void receive_response_impl(const sip::MessagePtr& response);
   void enter_completed_invite(const sip::MessagePtr& response);
   void send_ack_for(const sip::MessagePtr& response);
   void arm_retransmit(SimTime interval);
   void fire_timeout();
   void terminate();
   void cancel_timers();
+  /// All wire output funnels through here so the tap sees every send.
+  void wire_send(const sip::MessagePtr& msg);
+  void notify(ClientEvent event, const sip::Message* msg = nullptr) {
+    if (tap_ != nullptr) tap_->on_client_event(this, event, msg);
+  }
 
   sim::Simulator& sim_;
   TimerConfig timers_;
@@ -83,6 +95,7 @@ class ClientTransaction {
   sip::MessagePtr request_;
   SendFn send_;
   ClientCallbacks callbacks_;
+  ConformanceTap* tap_{nullptr};
 
   ClientState state_;
   SimTime rtx_interval_;
@@ -115,11 +128,21 @@ class ServerTransaction {
   [[nodiscard]] ServerState state() const { return state_; }
   [[nodiscard]] const sip::MessagePtr& request() const { return request_; }
   [[nodiscard]] int absorbed_count() const { return absorbed_; }
+  [[nodiscard]] bool is_invite() const { return is_invite_; }
+
+  /// Installs (or clears) the conformance tap (see ClientTransaction).
+  void set_tap(ConformanceTap* tap) { tap_ = tap; }
 
  private:
+  void receive_request_impl(const sip::MessagePtr& request);
+  void respond_impl(const sip::MessagePtr& response);
   void arm_response_retransmit(SimTime interval);
   void terminate();
   void cancel_timers();
+  void wire_send(const sip::MessagePtr& msg);
+  void notify(ServerEvent event, const sip::Message* msg = nullptr) {
+    if (tap_ != nullptr) tap_->on_server_event(this, event, msg);
+  }
 
   sim::Simulator& sim_;
   TimerConfig timers_;
@@ -127,6 +150,7 @@ class ServerTransaction {
   sip::MessagePtr request_;
   SendFn send_;
   ServerCallbacks callbacks_;
+  ConformanceTap* tap_{nullptr};
 
   ServerState state_;
   sip::MessagePtr last_response_;

@@ -120,6 +120,7 @@ ObservedPoint measure_point_retained(const BedFactory& factory,
   const auto wall_start = std::chrono::steady_clock::now();
   std::unique_ptr<TestBed> bed = factory(offered_cps);
   if (options.observe) bed->enable_observability();
+  if (options.check) bed->enable_checking(options.check_options);
   sim::Simulator& sim = bed->sim();
 
   bed->start_load();
@@ -198,6 +199,9 @@ ObservedPoint measure_point_retained(const BedFactory& factory,
   if (obs::Observability* obs = bed->observability();
       obs != nullptr && obs->audit() != nullptr) {
     result.controller_windows = obs->audit()->snapshot();
+  }
+  if (check::RunChecker* checker = bed->checker(); checker != nullptr) {
+    result.check_violations = checker->log().total();
   }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

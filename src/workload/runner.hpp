@@ -24,6 +24,14 @@ struct MeasureOptions {
   /// (asserted by ObsDeterminismTest); only PointResult::controller_windows
   /// and the retained bed's trace/metric contents change.
   bool observe = false;
+  /// Runs the conformance oracle + invariant checker (src/check) in
+  /// lockstep with the measured bed. Read-only like observe: simulated
+  /// results stay bit-identical (asserted by the conformance suite). The
+  /// load is still flowing at the measurement snapshot, so the drain-time
+  /// checks do NOT run here — only continuous ones; violations observed so
+  /// far are surfaced via PointResult::check_violations.
+  bool check = false;
+  check::CheckOptions check_options;
 };
 
 /// One (offered load -> observed behaviour) sample.
@@ -57,6 +65,11 @@ struct PointResult {
   /// Real (host) time spent simulating this point. Not part of the
   /// simulation output: identical runs may report different wall times.
   double wall_seconds = 0.0;
+
+  /// Violations the checking subsystem recorded (0 unless
+  /// MeasureOptions::check). Diagnostic only — deliberately NOT part of
+  /// to_run_record, so checked and unchecked digests stay identical.
+  std::uint64_t check_violations = 0;
 
   /// Controller audit windows captured during the run (empty unless
   /// MeasureOptions::observe was set), all nodes interleaved in emission

@@ -70,6 +70,9 @@ proxy::ProxyConfig proxy_config(const ScenarioOptions& options,
   config.authenticate = authenticate;
   config.overload_signal_loss = options.overload_signal_loss;
   config.overload = options.overload_control;
+  config.dialog_ttl = options.dialog_ttl;
+  config.debug_predecrement_max_forwards =
+      options.debug_predecrement_max_forwards;
   if (options.distribute_auth) {
     config.auth_scope = proxy::ProxyConfig::AuthScope::kWhenStateful;
     config.auth_realm = std::string(kSharedRealm);
@@ -107,6 +110,7 @@ void add_uac_group(TestBed& bed, const ScenarioOptions& options,
     config.num_callees = options.num_users;
     config.call_rate_cps = total_rate / n;
     config.poisson_arrivals = options.poisson_arrivals;
+    config.max_forwards = options.uac_max_forwards;
     if (total_rate > 0.0) {
       config.start_offset =
           SimTime::seconds(static_cast<double>(k) / total_rate);

@@ -79,6 +79,19 @@ struct ScenarioOptions {
   /// before sending (fault-ablation axis; see ProxyConfig).
   double overload_signal_loss = 0.0;
 
+  /// Early-dialog time-to-live on dialog-stateful proxies (see
+  /// ProxyConfig::dialog_ttl); <= 0 disables the expiry sweep.
+  SimTime dialog_ttl = SimTime::seconds(300);
+
+  /// Max-Forwards the UACs stamp on requests. Conformance tests lower it
+  /// to exercise hop-count exhaustion mid-chain.
+  int uac_max_forwards = 70;
+
+  /// Debug fault hook: reintroduces the historical Max-Forwards
+  /// check-after-decrement bug on every proxy (mutation smoke for the
+  /// checker; see ProxyConfig::debug_predecrement_max_forwards).
+  bool debug_predecrement_max_forwards = false;
+
   std::uint64_t seed = 1;
 };
 

@@ -90,6 +90,48 @@ void TestBed::install_faults(const fault::FaultPlan& plan) {
   injector_->arm(plan);
 }
 
+check::RunChecker& TestBed::enable_checking(check::CheckOptions options) {
+  if (checker_ != nullptr) return *checker_;
+  checker_ = std::make_unique<check::RunChecker>(sim_, options);
+  for (const auto& [addr, host] : host_names_) {
+    checker_->wire().register_host(Address{addr}, host);
+  }
+  txn::ConformanceTap* tap = &checker_->oracle();
+  for (auto& proxy : proxies_) proxy->set_conformance_tap(tap);
+  for (auto& uac : uacs_) uac->set_conformance_tap(tap);
+  for (auto& uas : uases_) uas->set_conformance_tap(tap);
+  check::WireChecker* wire = &checker_->wire();
+  network_.set_send_tap(
+      [wire](Address from, Address to, const sip::MessagePtr& msg) {
+        wire->on_send(from, to, msg);
+      });
+  network_.set_deliver_tap(
+      [wire](Address from, Address to, const sip::MessagePtr& msg) {
+        wire->on_deliver(from, to, msg);
+      });
+  checker_->set_totals_source([this] {
+    check::RunTotals totals;
+    for (const auto& proxy : proxies_) {
+      totals.double_stateful += proxy->stats().double_stateful;
+      totals.active_transactions += proxy->transactions().active_count();
+      totals.active_dialogs += proxy->dialogs().active_count();
+    }
+    for (const auto& uas : uases_) {
+      totals.unmarked_invites += uas->metrics().unmarked_invites;
+    }
+    for (const auto& uac : uacs_) {
+      const UacMetrics& m = uac->metrics();
+      totals.open_uac_calls += uac->open_calls();
+      totals.calls_attempted += m.calls_attempted;
+      totals.calls_terminal +=
+          m.calls_completed + m.calls_failed + m.calls_cancelled;
+    }
+    return totals;
+  });
+  checker_->start();
+  return *checker_;
+}
+
 void TestBed::start_load() {
   for (auto& uac : uacs_) uac->start();
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "check/run_checker.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "fault/injector.hpp"
@@ -93,6 +94,17 @@ class TestBed {
     return injector_.get();
   }
 
+  /// Turns on the conformance/invariant checking subsystem (src/check):
+  /// taps every transaction manager with the RFC 3261 oracle, watches every
+  /// datagram with the wire checker, and starts the periodic run-invariant
+  /// sweep. Call AFTER all elements are added and before the simulation
+  /// runs (idempotent; live transactions are not retrofitted). Checking is
+  /// read-only: a checked run produces bit-identical results.
+  check::RunChecker& enable_checking(check::CheckOptions options = {});
+
+  /// Null when checking was never enabled.
+  [[nodiscard]] check::RunChecker* checker() { return checker_.get(); }
+
  private:
   sim::Simulator sim_;
   Rng rng_;
@@ -104,6 +116,9 @@ class TestBed {
   std::vector<std::pair<std::uint32_t, std::string>> host_names_;
   std::unique_ptr<obs::Observability> obs_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Declared before the elements that hold raw tap pointers into it, so
+  /// it outlives them on destruction.
+  std::unique_ptr<check::RunChecker> checker_;
   std::vector<std::unique_ptr<proxy::ProxyServer>> proxies_;
   std::vector<std::unique_ptr<Uac>> uacs_;
   std::vector<std::unique_ptr<Uas>> uases_;

@@ -126,6 +126,7 @@ void Uac::place_call() {
       sip::NameAddr{"", request_uri, ""}, call_id,
       sip::CSeq{1, sip::Method::kInvite});
   invite.push_via(sip::Via{"SIP/2.0/UDP", config_.host, branches_.next()});
+  invite.set_max_forwards(config_.max_forwards);
   invite.set_contact(sip::NameAddr{"", sip::Uri("caller", config_.host), ""});
   invite.set_body("v=0 o=sim c=IN IP4 0.0.0.0 m=audio 49170 RTP/AVP 0");
   maybe_attach_credentials(invite);
@@ -257,6 +258,7 @@ void Uac::send_bye(const std::string& call_id) {
                     call.to_tag},
       call.call_id, sip::CSeq{2, sip::Method::kBye});
   bye.push_via(sip::Via{"SIP/2.0/UDP", config_.host, branches_.next()});
+  bye.set_max_forwards(config_.max_forwards);
   bye.routes() = call.route_set;
   maybe_attach_credentials(bye);
   auto bye_ptr = std::move(bye).finish();

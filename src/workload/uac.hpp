@@ -37,6 +37,10 @@ struct UacConfig {
   double cancel_probability = 0.0;
   SimTime ring_abandon_after = SimTime::seconds(2.0);
   txn::TimerConfig timers;
+  /// Max-Forwards stamped on generated INVITE/BYE requests (RFC 3261
+  /// default 70; conformance tests lower it to exercise hop-count
+  /// exhaustion at a chosen hop).
+  int max_forwards = 70;
   /// Attach Proxy-Authorization (preemptively, as SIPp does once
   /// challenged) using these credentials.
   bool attach_credentials = false;
@@ -64,6 +68,10 @@ class Uac {
   [[nodiscard]] const UacConfig& config() const { return config_; }
   /// Calls currently in flight (diagnostics).
   [[nodiscard]] std::size_t open_calls() const { return calls_.size(); }
+  /// Installs a conformance tap on this UAC's transactions (txn/tap.hpp).
+  void set_conformance_tap(txn::ConformanceTap* tap) {
+    txns_.set_conformance_tap(tap);
+  }
 
  private:
   struct Call {

@@ -54,6 +54,11 @@ class Uas {
     return registrations_confirmed_;
   }
 
+  /// Installs a conformance tap on this UAS's transactions (txn/tap.hpp).
+  void set_conformance_tap(txn::ConformanceTap* tap) {
+    txns_.set_conformance_tap(tap);
+  }
+
  private:
   void on_datagram(Address from, const sip::MessagePtr& msg);
   void handle_invite(Address from, const sip::MessagePtr& msg);

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "check/run_checker.hpp"
 #include "common/json.hpp"
 #include "fault/fault_plan.hpp"
 #include "generators.hpp"
@@ -140,6 +141,9 @@ void dump_artifacts(const std::string& topology, workload::TestBed& bed,
     summary["controller_windows"] =
         obs::windows_to_json(obs->audit()->snapshot());
   }
+  if (auto* checker = bed.checker(); checker != nullptr) {
+    checker->to_json().write_file(base + "_violations.json");
+  }
   summary.write_file(base + "_run.json");
   std::cerr << "[chaos] failing schedule dumped to " << base
             << "_{plan,run}.json\n";
@@ -151,6 +155,11 @@ void run_chaos_seed(const std::string& topology, const ChaosSetup& setup) {
 
   auto bed = setup.factory(setup.offered);
   bed->enable_observability();
+  check::CheckOptions check_options;
+  // Crash and link faults legitimately strand in-flight requests; every
+  // other wire/oracle/run invariant must still hold.
+  check_options.expect_all_answered = false;
+  check::RunChecker& checker = bed->enable_checking(check_options);
   ASSERT_NE(bed->fault_injector(), nullptr);
 
   const SimTime heal = SimTime::seconds(kFaultWindowEnd);
@@ -184,6 +193,14 @@ void run_chaos_seed(const std::string& topology, const ChaosSetup& setup) {
   for (const auto& proxy : bed->proxies()) {
     EXPECT_EQ(proxy->stats().double_stateful, 0u) << proxy->config().host;
   }
+
+  // Conformance oracle + run invariants: the checker shadowed every
+  // transaction and datagram; the drain-time checks run inside finish()
+  // (which also stops the checker's sweep timer, keeping the pending-event
+  // bound below exact).
+  checker.finish();
+  EXPECT_GT(checker.oracle().events_checked(), 0u);
+  EXPECT_TRUE(checker.log().empty()) << checker.log().summary();
 
   // Leak-freedom: after the drain no proxy holds live state.
   for (const auto& proxy : bed->proxies()) {

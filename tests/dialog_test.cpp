@@ -154,5 +154,56 @@ TEST(DialogManagerTest, ConcurrentDialogsIndependent) {
   EXPECT_EQ(manager.active_count(), 9u);
 }
 
+TEST(DialogManagerTest, AbandonEarlyRemovesOnFinalFailure) {
+  // A final non-2xx ends dialog setup: the early dialog must go away (the
+  // historical leak kept it until process end).
+  DialogManager manager;
+  const Message invite = make_invite();
+  manager.create_early(invite, SimTime{});
+  Message busy = Message::response(invite, 486);
+
+  EXPECT_TRUE(manager.abandon_early(busy));
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_EQ(manager.abandoned_count(), 1u);
+  // Idempotent for the retransmitted final.
+  EXPECT_FALSE(manager.abandon_early(busy));
+  EXPECT_EQ(manager.abandoned_count(), 1u);
+}
+
+TEST(DialogManagerTest, AbandonEarlyLeavesConfirmedAlone) {
+  DialogManager manager;
+  const Message invite = make_invite();
+  manager.create_early(invite, SimTime{});
+  manager.confirm(make_200(invite, "tag-b"));
+
+  // A late failure response for the same call (e.g. a losing fork branch)
+  // must not tear down the confirmed dialog.
+  EXPECT_FALSE(manager.abandon_early(Message::response(invite, 486)));
+  EXPECT_EQ(manager.active_count(), 1u);
+}
+
+TEST(DialogManagerTest, ExpireEarlyReapsOnlyStaleEarlyDialogs) {
+  DialogManager manager;
+  // d0: early, created at t=0 -> stale at t=10 with ttl 5.
+  const Message stale = make_invite("call-stale", "tag-s");
+  manager.create_early(stale, SimTime{});
+  // d1: early but fresh (created at t=8).
+  const Message fresh = make_invite("call-fresh", "tag-f");
+  manager.create_early(fresh, SimTime::seconds(8.0));
+  // d2: confirmed long ago — confirmed dialogs never expire (calls may
+  // legitimately outlast any setup TTL).
+  const Message old_call = make_invite("call-old", "tag-o");
+  manager.create_early(old_call, SimTime{});
+  manager.confirm(make_200(old_call, "tag-b"));
+
+  EXPECT_EQ(manager.expire_early(SimTime::seconds(10.0),
+                                 SimTime::seconds(5.0)),
+            1u);
+  EXPECT_EQ(manager.active_count(), 2u);
+  EXPECT_EQ(manager.expired_count(), 1u);
+  // The stale early dialog is gone; fresh + confirmed remain.
+  EXPECT_NE(manager.match(make_bye("call-old", "tag-o", "tag-b")), nullptr);
+}
+
 }  // namespace
 }  // namespace svk::dialog

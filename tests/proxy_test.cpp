@@ -417,14 +417,50 @@ TEST_F(ProxyPipelineTest, UnroutableDomainGets404) {
   EXPECT_EQ(client->count_status(404), 1);
 }
 
-TEST_F(ProxyPipelineTest, MaxForwardsExhaustedGets483) {
+TEST_F(ProxyPipelineTest, MaxForwardsZeroGets483) {
+  build({});
+  Message invite = make_invite();
+  invite.set_max_forwards(0);
+  client->send(proxy->config().address, invite);
+  bed->sim().run_until(SimTime::millis(100));
+  EXPECT_EQ(client->count_status(483), 1);
+  EXPECT_EQ(uas_host->count_method(Method::kInvite), 0);
+  EXPECT_EQ(proxy->stats().rejected_483, 1u);
+}
+
+TEST_F(ProxyPipelineTest, MaxForwardsOneIsForwardedCarryingZero) {
+  // RFC 3261 16.3 step 4: exhaustion means the request *arrived* with 0.
+  // A request arriving with 1 must still be forwarded (carrying 0) — the
+  // historical check-after-decrement rejected it one hop early.
   build({});
   Message invite = make_invite();
   invite.set_max_forwards(1);
   client->send(proxy->config().address, invite);
   bed->sim().run_until(SimTime::millis(100));
+  EXPECT_EQ(client->count_status(483), 0);
+  ASSERT_EQ(uas_host->count_method(Method::kInvite), 1);
+  EXPECT_EQ(uas_host->inbox().front().second->max_forwards(), 0);
+  EXPECT_EQ(proxy->stats().rejected_483, 0u);
+}
+
+TEST_F(ProxyPipelineTest, CancelWithExhaustedMaxForwardsGets483NotDropped) {
+  // A CANCEL that arrives hop-count-exhausted (and matches no local INVITE
+  // leg) must be answered 483 so the canceller's client transaction
+  // completes; the old path silently dropped it and the canceller timed
+  // out after 64*T1.
+  build({.stateful_policy = false});
+  Message cancel = Message::request(
+      Method::kCancel, Uri("bob", "example.com"),
+      NameAddr{"", Uri("alice", "client.test"), "tag-a"},
+      NameAddr{"", Uri("bob", "example.com"), ""}, "c-cancel",
+      CSeq{1, Method::kCancel});
+  cancel.push_via(Via{"SIP/2.0/UDP", "client.test", "z9hG4bK-c1"});
+  cancel.set_max_forwards(0);
+  client->send(proxy->config().address, cancel);
+  bed->sim().run_until(SimTime::millis(100));
   EXPECT_EQ(client->count_status(483), 1);
-  EXPECT_EQ(uas_host->count_method(Method::kInvite), 0);
+  EXPECT_EQ(uas_host->count_method(Method::kCancel), 0);
+  EXPECT_EQ(proxy->stats().rejected_483, 1u);
 }
 
 TEST_F(ProxyPipelineTest, AuthMissingCredentialsGets407) {

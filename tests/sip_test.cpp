@@ -483,6 +483,127 @@ TEST(ParserTest, NameAddrRejectsUnterminatedDisplay) {
 }
 
 // ---------------------------------------------------------------------------
+// Header folding and comma-combined multi-value headers (RFC 3261 7.3 /
+// 7.3.1): equivalent wire forms peers are allowed to emit.
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, UnfoldsContinuationLines) {
+  const std::string wire =
+      "INVITE sip:u@h SIP/2.0\r\n"
+      "Via: SIP/2.0/UDP\r\n"
+      " client.com;branch=z9hG4bK-fold\r\n"
+      "From: <sip:a@x.com>;tag=t\r\n"
+      "To: <sip:b@y.com>\r\n"
+      "Call-ID: fold-1\r\n"
+      "CSeq: 3 INVITE\r\n"
+      "Subject: I know you're there,\r\n"
+      "\tpick up the phone!\r\n"
+      "Content-Length: 0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().top_via().sent_by, "client.com");
+  EXPECT_EQ(parsed.value().top_via().branch, "z9hG4bK-fold");
+  EXPECT_EQ(parsed.value().header("Subject"),
+            "I know you're there, pick up the phone!");
+}
+
+TEST(ParserTest, SplitsCommaCombinedVias) {
+  // One Via field listing two hops is equivalent to two Via fields; wire
+  // order is top-first, the model stores the stack bottom-first.
+  const std::string wire =
+      "SIP/2.0 180 Ringing\r\n"
+      "Via: SIP/2.0/UDP p1.com;branch=z9hG4bK-a, "
+      "SIP/2.0/UDP client.com;branch=z9hG4bK-b\r\n"
+      "From: <sip:a@x.com>;tag=t\r\n"
+      "To: <sip:b@y.com>;tag=u\r\n"
+      "Call-ID: comma-1\r\n"
+      "CSeq: 1 INVITE\r\n"
+      "Content-Length: 0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Message& msg = parsed.value();
+  ASSERT_EQ(msg.vias().size(), 2u);
+  EXPECT_EQ(msg.top_via().sent_by, "p1.com");
+  EXPECT_EQ(msg.top_via().branch, "z9hG4bK-a");
+  EXPECT_EQ(msg.vias().front().sent_by, "client.com");
+}
+
+TEST(ParserTest, CommaCombinedViasRoundTripAsSeparateLines) {
+  const std::string wire =
+      "INVITE sip:u@h SIP/2.0\r\n"
+      "Via: SIP/2.0/UDP p1.com;branch=z9hG4bK-a, "
+      "SIP/2.0/UDP client.com;branch=z9hG4bK-b\r\n"
+      "From: <sip:a@x.com>;tag=t\r\n"
+      "To: <sip:b@y.com>\r\n"
+      "Call-ID: comma-2\r\n"
+      "CSeq: 1 INVITE\r\n"
+      "Content-Length: 0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const auto round = Parser::parse(parsed.value().to_wire());
+  ASSERT_TRUE(round.ok()) << round.error().message;
+  EXPECT_EQ(round.value().vias(), parsed.value().vias());
+}
+
+TEST(ParserTest, SplitsCommaCombinedRouteSets) {
+  const std::string wire =
+      "BYE sip:u@h SIP/2.0\r\n"
+      "Via: SIP/2.0/UDP client.com;branch=z9hG4bK-r\r\n"
+      "Route: <sip:p1.example.com;lr>, <sip:p2.example.com;lr>\r\n"
+      "Record-Route: <sip:p3.example.com>,<sip:p4.example.com>\r\n"
+      "From: <sip:a@x.com>;tag=t\r\n"
+      "To: <sip:b@y.com>;tag=u\r\n"
+      "Call-ID: comma-3\r\n"
+      "CSeq: 2 BYE\r\n"
+      "Content-Length: 0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Message& msg = parsed.value();
+  ASSERT_EQ(msg.routes().size(), 2u);
+  EXPECT_EQ(msg.routes()[0].host(), "p1.example.com");
+  EXPECT_EQ(msg.routes()[1].host(), "p2.example.com");
+  ASSERT_EQ(msg.record_routes().size(), 2u);
+  EXPECT_EQ(msg.record_routes()[0].host(), "p3.example.com");
+  EXPECT_EQ(msg.record_routes()[1].host(), "p4.example.com");
+}
+
+TEST(ParserTest, CommaInsideQuotesOrBracketsDoesNotSplit) {
+  // The list separator is a *top-level* comma: commas inside a quoted
+  // display name or inside <...> belong to the value.
+  const std::string wire =
+      "INVITE sip:u@h SIP/2.0\r\n"
+      "Via: SIP/2.0/UDP client.com;branch=z9hG4bK-q\r\n"
+      "From: \"Smith, John\" <sip:a@x.com>;tag=t\r\n"
+      "To: <sip:b@y.com>\r\n"
+      "Record-Route: <sip:p1.example.com>, <sip:p2.example.com>\r\n"
+      "Call-ID: comma-4\r\n"
+      "CSeq: 1 INVITE\r\n"
+      "Content-Length: 0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().from().display, "Smith, John");
+  ASSERT_EQ(parsed.value().record_routes().size(), 2u);
+}
+
+TEST(ParserTest, FoldedCommaCombinedViaList) {
+  // Folding and comma-combining compose: a hop list wrapped across lines.
+  const std::string wire =
+      "SIP/2.0 200 OK\r\n"
+      "Via: SIP/2.0/UDP p1.com;branch=z9hG4bK-a,\r\n"
+      " SIP/2.0/UDP client.com;branch=z9hG4bK-b\r\n"
+      "From: <sip:a@x.com>;tag=t\r\n"
+      "To: <sip:b@y.com>;tag=u\r\n"
+      "Call-ID: fold-comma\r\n"
+      "CSeq: 1 INVITE\r\n"
+      "Content-Length: 0\r\n\r\n";
+  const auto parsed = Parser::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_EQ(parsed.value().vias().size(), 2u);
+  EXPECT_EQ(parsed.value().top_via().sent_by, "p1.com");
+  EXPECT_EQ(parsed.value().vias().front().branch, "z9hG4bK-b");
+}
+
+// ---------------------------------------------------------------------------
 // Branches and transaction keys
 // ---------------------------------------------------------------------------
 
