@@ -1,0 +1,190 @@
+// Parallel-engine perf gate — wall-clock speedup and digest parity of the
+// sharded simulator (sim::ShardSet) on the wide-fork topology.
+//
+// One entry balancer spreads calls over 16 stateful exit proxies; the link
+// latency is raised to 10ms so the conservative engine's lookahead yields
+// wide safe windows (100 per simulated second) and per-window work, not
+// barrier overhead, dominates. The same load point runs at 1, 2 and 4
+// shards; the binary then enforces, via its exit code:
+//
+//   1. Digest parity (always): every shard count must produce a
+//      bit-identical RunRecord (wall clock zeroed) — the engine's cardinal
+//      invariant, checked here on the exact configuration being timed.
+//   2. Speedup (when the host has >= 4 CPUs): the 4-shard run must be at
+//      least 2x faster wall-clock than the serial run. On smaller hosts the
+//      speedup is still measured and reported but the gate is skipped —
+//      threads pinned to one core cannot demonstrate parallelism.
+//
+// Modes:
+//   (default)  5s warmup + 20s measure per engine
+//   --quick    CI smoke: 2s warmup + 8s measure; both gates unchanged.
+//
+// Results go to BENCH_perf_parallel.json (uploaded by CI).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/md5.hpp"
+
+namespace {
+
+using namespace svk;
+using namespace svk::bench;
+
+bool g_quick = false;
+
+constexpr int kNumExits = 16;
+constexpr double kSpeedupFloor = 2.0;
+constexpr unsigned kMinCpusForGate = 4;
+
+workload::BedFactory wide_fork_factory() {
+  workload::ScenarioOptions options =
+      scenario(workload::PolicyKind::kStaticChainLastStateful, kNumExits + 1);
+  // More endpoint boxes than shards, so the round-robin shard assignment
+  // spreads UAC/UAS work evenly alongside the exits.
+  options.num_uacs = 8;
+  options.num_uas = 8;
+  // Dialog-stateful exits: more work per call on the spread-out shards
+  // relative to the stateless balancer pinned on shard 0, which would
+  // otherwise be the load-balance ceiling.
+  options.stateful_mode = profile::HandlingMode::kDialogStateful;
+  // 10ms one-way links: lookahead 10ms, 100 safe windows per simulated
+  // second, ~11 calls of work per window. (The 250us default would mean
+  // 4000 windows/s — barrier cost would swamp the tiny per-window work of
+  // this scaled topology.) Still far below SIP T1 and the 100ms
+  // queue-delay bound, so the scenario's behavior is unchanged in kind.
+  options.link_latency = SimTime::millis(10);
+  return workload::wide_fork(kNumExits, options);
+}
+
+struct EngineRun {
+  std::size_t shards;
+  double wall_seconds;
+  std::string digest;  // MD5 of the RunRecord JSON, wall clock zeroed
+  /// Events executed per shard — the work-balance diagnostic. Speedup is
+  /// bounded above by total/max regardless of barrier cost.
+  std::vector<std::uint64_t> per_shard_executed;
+};
+
+EngineRun run_engine(const workload::BedFactory& factory, double offered_full,
+                     std::size_t shards) {
+  workload::MeasureOptions options = measure_options();
+  if (g_quick) {
+    options.warmup = SimTime::seconds(2.0);
+    options.measure = SimTime::seconds(8.0);
+  } else {
+    options.warmup = SimTime::seconds(5.0);
+    options.measure = SimTime::seconds(20.0);
+  }
+  options.shards = shards;
+  workload::ObservedPoint observed =
+      workload::measure_point_retained(factory, scaled(offered_full), options);
+  EngineRun run;
+  run.shards = shards;
+  run.wall_seconds = observed.point.wall_seconds;
+  for (std::size_t i = 0; i < observed.bed->shard_count(); ++i) {
+    run.per_shard_executed.push_back(
+        observed.bed->shards().shard(i).executed_count());
+  }
+  RunRecord record = full_record(observed.point, "perf_parallel");
+  record.wall_seconds = 0.0;
+  run.digest = Md5::hex(record.to_json().dump());
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  svk::bench::initialize(&argc, argv);
+
+  print_header("perf_parallel",
+               "sharded-engine wall-clock speedup + digest parity gate");
+
+  const workload::BedFactory factory = wide_fork_factory();
+  // Just under the stateless balancer's saturation: every exit carries
+  // ~1/16 of the load, so the shards stay busy without overload noise.
+  const double offered_full = 11000.0;
+
+  std::vector<EngineRun> runs;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    runs.push_back(run_engine(factory, offered_full, shards));
+    const EngineRun& run = runs.back();
+    std::uint64_t total = 0, max_shard = 0;
+    for (const std::uint64_t executed : run.per_shard_executed) {
+      total += executed;
+      max_shard = std::max(max_shard, executed);
+    }
+    std::printf("shards=%zu : %8.2f s wall-clock  digest %s  "
+                "balance %.2f (ideal %.2f)\n",
+                run.shards, run.wall_seconds, run.digest.c_str(),
+                max_shard > 0 ? static_cast<double>(total) /
+                                    static_cast<double>(max_shard)
+                              : 0.0,
+                static_cast<double>(run.shards));
+  }
+
+  const EngineRun& serial = runs.front();
+  bool parity_ok = true;
+  for (const EngineRun& run : runs) {
+    if (run.digest != serial.digest) {
+      parity_ok = false;
+      std::printf("digest gate   : shards=%zu DIVERGES from serial\n",
+                  run.shards);
+    }
+  }
+  if (parity_ok) {
+    std::printf("digest gate   : all shard counts bit-identical -> ok\n");
+  }
+
+  const EngineRun& four = runs.back();
+  const double speedup = four.wall_seconds > 0.0
+                             ? serial.wall_seconds / four.wall_seconds
+                             : 0.0;
+  const unsigned cpus = std::thread::hardware_concurrency();
+  const bool gate_applies = cpus >= kMinCpusForGate;
+  const bool speedup_ok = speedup >= kSpeedupFloor;
+  if (gate_applies) {
+    std::printf("speedup gate  : %.2fx at 4 shards (min %.1fx) -> %s\n",
+                speedup, kSpeedupFloor, speedup_ok ? "ok" : "FAIL");
+  } else {
+    std::printf("speedup gate  : %.2fx at 4 shards — skipped, host has "
+                "%u cpu(s), need >= %u\n",
+                speedup, cpus, kMinCpusForGate);
+  }
+
+  BenchReport report("perf_parallel");
+  report.root()["quick"] = g_quick;
+  report.add_metric("offered_cps", offered_full);
+  report.add_metric("num_exits", kNumExits);
+  report.add_metric("host_cpus", cpus);
+  for (const EngineRun& run : runs) {
+    const std::string prefix = "shards_" + std::to_string(run.shards);
+    report.add_metric(prefix + "_wall_seconds", run.wall_seconds);
+    report.root()["digests"][std::to_string(run.shards)] = run.digest;
+    JsonValue executed = JsonValue::array();
+    for (const std::uint64_t e : run.per_shard_executed) executed.push_back(e);
+    report.root()["per_shard_executed"][std::to_string(run.shards)] =
+        std::move(executed);
+  }
+  report.add_metric("speedup_4_shards", speedup);
+  report.root()["digest_parity_pass"] = parity_ok;
+  report.root()["speedup_gate_applies"] = gate_applies;
+  report.root()["speedup_gate_pass"] = !gate_applies || speedup_ok;
+  report.write();
+
+  return parity_ok && (!gate_applies || speedup_ok) ? 0 : 1;
+}

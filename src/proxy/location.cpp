@@ -7,16 +7,19 @@ namespace svk::proxy {
 void LocationService::register_binding(const std::string& aor,
                                        sip::Uri contact,
                                        SimTime expires_at) {
+  std::unique_lock lock(mutex_);
   bindings_[aor] = Binding{std::move(contact), expires_at};
 }
 
 void LocationService::unregister(const std::string& aor) {
+  std::unique_lock lock(mutex_);
   bindings_.erase(aor);
 }
 
 std::optional<Binding> LocationService::lookup(const std::string& aor,
                                                SimTime now) const {
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(mutex_);
   const auto it = bindings_.find(aor);
   if (it == bindings_.end()) return std::nullopt;
   if (it->second.expires_at < now) return std::nullopt;

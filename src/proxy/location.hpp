@@ -4,8 +4,11 @@
 // table).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -35,12 +38,23 @@ class LocationService {
   [[nodiscard]] std::optional<Binding> lookup(const std::string& aor,
                                               SimTime now = SimTime{}) const;
 
-  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
-  [[nodiscard]] std::uint64_t query_count() const { return queries_; }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return bindings_.size();
+  }
+  [[nodiscard]] std::uint64_t query_count() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One service is shared by every proxy of a bed, so under the sharded
+  /// engine different shard threads may touch it in the same safe window.
+  /// The lock makes the *container* safe; result determinism holds because
+  /// all traffic for one AOR goes through its registrar proxy — a single
+  /// host, hence a single shard (see DESIGN.md §11).
+  mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, Binding> bindings_;
-  mutable std::uint64_t queries_{0};
+  mutable std::atomic<std::uint64_t> queries_{0};
 };
 
 }  // namespace svk::proxy

@@ -1,0 +1,137 @@
+#include "sim/parallel_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace svk::sim {
+
+ShardSet::ShardSet(std::size_t shards) {
+  assert(shards >= 1);
+  sims_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  mailboxes_.resize(shards * shards);
+  rank_shard_.push_back(0);  // rank 0: the harness, pinned to shard 0
+}
+
+ShardSet::~ShardSet() {
+  if (!workers_.empty()) {
+    stop_ = true;
+    start_barrier_->arrive_and_wait();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+void ShardSet::assign_rank(std::uint32_t rank, int shard) {
+  if (rank >= rank_shard_.size()) rank_shard_.resize(rank + 1, 0);
+  if (rank == 0) return;
+  if (shard >= 0) {
+    rank_shard_[rank] = static_cast<std::size_t>(shard) % sims_.size();
+  } else {
+    rank_shard_[rank] = next_rr_shard_;
+    next_rr_shard_ = (next_rr_shard_ + 1) % sims_.size();
+  }
+}
+
+void ShardSet::schedule_global(SimTime at, std::function<void()> action) {
+  if (sims_.size() == 1) {
+    // Serial: a rank-0 event sorts before every same-tick host event —
+    // exactly the barrier semantics, with no machinery.
+    assert(sims_[0]->ambient_locus() == 0);
+    sims_[0]->schedule_at(at, EventAction(std::move(action)));
+    return;
+  }
+  globals_.push_back(GlobalEvent{at, next_global_seq_++, std::move(action)});
+  globals_dirty_ = true;
+}
+
+void ShardSet::apply_globals_through(SimTime bound) {
+  while (next_global_ < globals_.size() &&
+         globals_[next_global_].at <= bound) {
+    // Fault hooks read shard clocks (e.g. CpuQueue backlog rescaling), so
+    // pin every shard to exactly the event time first — the serial engine
+    // has now == T while the fault event executes.
+    for (auto& sim : sims_) sim->advance_to(globals_[next_global_].at);
+    globals_[next_global_].action();
+    ++next_global_;
+  }
+}
+
+void ShardSet::drain_mailboxes() {
+  const std::size_t k = sims_.size();
+  for (std::size_t src = 0; src < k; ++src) {
+    for (std::size_t dst = 0; dst < k; ++dst) {
+      std::vector<RemoteEvent>& box = mailboxes_[src * k + dst];
+      for (RemoteEvent& ev : box) {
+        assert(ev.at >= window_end_ && "cross-shard event inside the window");
+        sims_[dst]->insert_keyed(ev.at, ev.key, ev.locus,
+                                 std::move(ev.action));
+      }
+      box.clear();
+    }
+  }
+}
+
+void ShardSet::start_threads() {
+  if (!workers_.empty()) return;
+  const std::ptrdiff_t participants =
+      static_cast<std::ptrdiff_t>(sims_.size()) + 1;
+  start_barrier_ = std::make_unique<std::barrier<>>(participants);
+  end_barrier_ = std::make_unique<std::barrier<>>(participants);
+  workers_.reserve(sims_.size());
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardSet::worker_loop(std::size_t shard) {
+  for (;;) {
+    start_barrier_->arrive_and_wait();
+    if (stop_) return;
+    sims_[shard]->run_window(window_end_);
+    end_barrier_->arrive_and_wait();
+  }
+}
+
+void ShardSet::run_until(SimTime until) {
+  if (sims_.size() == 1) {
+    sims_[0]->run_until(until);
+    now_ = std::max(now_, until);
+    if (barrier_hook_) barrier_hook_();
+    return;
+  }
+  assert(lookahead_ > SimTime{} && "parallel run needs positive lookahead");
+  start_threads();
+  if (globals_dirty_) {
+    std::stable_sort(globals_.begin() + static_cast<std::ptrdiff_t>(
+                                            next_global_),
+                     globals_.end(), [](const GlobalEvent& a,
+                                        const GlobalEvent& b) {
+                       return a.at < b.at;
+                     });
+    globals_dirty_ = false;
+  }
+  const SimTime past_until = SimTime::nanos(until.ns() + 1);
+  for (;;) {
+    // Globals beyond `until` belong to a later run_until call.
+    apply_globals_through(std::min(now_, until));
+    if (now_ > until) break;
+    SimTime end = std::min(past_until, now_ + lookahead_);
+    if (next_global_ < globals_.size()) {
+      end = std::min(end, globals_[next_global_].at);
+    }
+    window_end_ = end;
+    start_barrier_->arrive_and_wait();  // release workers into the window
+    end_barrier_->arrive_and_wait();    // wait for every shard to finish
+    drain_mailboxes();
+    if (barrier_hook_) barrier_hook_();
+    ++windows_;
+    now_ = end;
+  }
+  for (auto& sim : sims_) sim->advance_to(until);
+  now_ = until;
+}
+
+}  // namespace svk::sim

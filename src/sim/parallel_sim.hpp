@@ -1,0 +1,155 @@
+// ShardSet — conservative parallel discrete-event simulation within one run.
+//
+// Hosts are partitioned across K shards; each shard owns its hosts'
+// CpuQueues and a private Simulator (timer wheel + clock). The fixed
+// per-link latency is the lookahead bound: during a safe window
+// [W, W + L) — L = the minimum latency of any configured link — no shard
+// can affect another before W + L, so all shards execute their window
+// concurrently without synchronizing. Cross-shard datagrams are posted to
+// per-(src, dst) mailboxes (single writer: the sending shard's thread;
+// single reader: the coordinator between windows) and transplanted into the
+// destination wheel at the window barrier.
+//
+// Determinism. Every event carries an order key allocated by its *sender's*
+// simulator — (locus rank << kLocusSeqBits | per-locus seq), see
+// timer_wheel.hpp. A host executes its events in (time, key) order no
+// matter which shard it lives on, and allocates the same keys for its
+// follow-on events, so by induction the whole run's per-host event
+// sequences — and therefore every RunRecord digest — are bit-identical for
+// any shard count, including the serial engine (a ShardSet of 1 runs the
+// plain Simulator loop with no threads and no windows).
+//
+// Global events (fault-plan applications, which mutate shared overlay state
+// like NetworkFaultState) do not live in any shard's wheel when K > 1: they
+// are applied by the coordinator at a window barrier whose end is clamped
+// to the event's time, after every shard has finished all events < T and
+// advanced its clock to exactly T. A serial run orders the same events
+// under locus rank 0, which sorts before every host event of the same tick
+// — the same relative order the barrier imposes.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "sim/event_action.hpp"
+#include "sim/simulator.hpp"
+
+namespace svk::sim {
+
+/// A cross-shard event in flight: the sender allocated the key on its own
+/// simulator; the coordinator inserts it into the destination wheel.
+struct RemoteEvent {
+  SimTime at;
+  OrderKey key = 0;
+  std::uint32_t locus = 0;
+  EventAction action;
+};
+
+class ShardSet {
+ public:
+  /// `shards` >= 1. One Simulator per shard; threads are only created for
+  /// K > 1, lazily on the first run_until.
+  explicit ShardSet(std::size_t shards);
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return sims_.size(); }
+  [[nodiscard]] Simulator& shard(std::size_t idx) { return *sims_[idx]; }
+
+  /// Assigns host `rank` to a shard (round-robin unless `shard` >= 0).
+  /// Rank 0 (the harness locus) always maps to shard 0.
+  void assign_rank(std::uint32_t rank, int shard = -1);
+  [[nodiscard]] std::size_t shard_of(std::uint32_t rank) const {
+    return rank < rank_shard_.size() ? rank_shard_[rank] : 0;
+  }
+  [[nodiscard]] Simulator& sim_for(std::uint32_t rank) {
+    return *sims_[shard_of(rank)];
+  }
+
+  /// The conservative lookahead: must be <= the minimum latency of any
+  /// link that can carry cross-shard traffic. The TestBed refreshes this
+  /// from the Network before every run.
+  void set_lookahead(SimTime lookahead) { lookahead_ = lookahead; }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+
+  /// Posts a cross-shard event. Caller must be shard `src`'s thread (or
+  /// the coordinator between windows); `ev.at` must be >= the current
+  /// window's end — guaranteed by the lookahead bound.
+  void post_remote(std::size_t src, std::size_t dst, RemoteEvent ev) {
+    mailboxes_[src * sims_.size() + dst].push_back(std::move(ev));
+  }
+
+  /// Schedules a coordinator-applied global event (fault injection): runs
+  /// at a window barrier at exactly `at`, after all shard events < `at`,
+  /// before all shard events >= `at`. Same-time globals run in schedule
+  /// order. With K == 1 this is a plain rank-0 schedule on the only shard,
+  /// which has identical ordering semantics.
+  void schedule_global(SimTime at, std::function<void()> action);
+
+  /// A hook run by the coordinator after every window barrier (and once
+  /// per run_until for K == 1): the TestBed uses it to drain per-shard
+  /// observability into the primary bundle while all workers are parked.
+  void set_barrier_hook(std::function<void()> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  /// Advances every shard through `until` inclusive (events at exactly
+  /// `until` execute), exchanging cross-shard events at safe-window
+  /// boundaries, then clamps every shard clock to `until`.
+  void run_until(SimTime until);
+
+  /// Completed simulation time (across run_until calls).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Safe windows executed so far (diagnostics; 0 under K == 1).
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  struct GlobalEvent {
+    SimTime at;
+    std::uint64_t seq;  // schedule order, the same-time tie-break
+    std::function<void()> action;
+  };
+
+  void start_threads();
+  void worker_loop(std::size_t shard);
+  /// Applies every pending global with time <= `bound` (coordinator only).
+  void apply_globals_through(SimTime bound);
+  /// Moves every mailbox event into its destination wheel (coordinator
+  /// only; workers parked). Events must be >= the finished window's end.
+  void drain_mailboxes();
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::size_t> rank_shard_;
+  std::size_t next_rr_shard_{0};
+  SimTime lookahead_ = SimTime::micros(100);
+  SimTime now_;
+  std::vector<std::vector<RemoteEvent>> mailboxes_;  // [src * K + dst]
+
+  std::vector<GlobalEvent> globals_;  // sorted by (at, seq) from next_global_
+  std::size_t next_global_{0};
+  std::uint64_t next_global_seq_{0};
+  bool globals_dirty_{false};
+
+  std::function<void()> barrier_hook_;
+  std::uint64_t windows_{0};
+
+  // K > 1 threading. The coordinator publishes window_end_ and stop_,
+  // then arrives at start_barrier_; workers run their shard's window and
+  // arrive at end_barrier_. Both barriers order all writes, so the plain
+  // members need no atomics.
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::barrier<>> start_barrier_;
+  std::unique_ptr<std::barrier<>> end_barrier_;
+  SimTime window_end_;
+  bool stop_{false};
+};
+
+}  // namespace svk::sim

@@ -13,14 +13,39 @@ void Simulator::set_obs(const obs::Sinks& sinks) {
                               : nullptr;
 }
 
+OrderKey Simulator::allocate_order_key() {
+  if (ambient_locus_ >= locus_seq_.size()) {
+    locus_seq_.resize(static_cast<std::size_t>(ambient_locus_) + 1, 0);
+  }
+  return make_order_key(ambient_locus_, ++locus_seq_[ambient_locus_]);
+}
+
 EventId Simulator::schedule(SimTime delay, Action action) {
   if (delay < SimTime{}) delay = SimTime{};
   return schedule_at(now_ + delay, std::move(action));
 }
 
 EventId Simulator::schedule_at(SimTime when, Action action) {
+  return schedule_at_for(ambient_locus_, when, std::move(action));
+}
+
+EventId Simulator::schedule_for(std::uint32_t locus, SimTime delay,
+                                Action action) {
+  if (delay < SimTime{}) delay = SimTime{};
+  return schedule_at_for(locus, now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at_for(std::uint32_t locus, SimTime when,
+                                   Action action) {
   if (when < now_) when = now_;
-  return wheel_.insert(when, std::move(action));
+  return wheel_.insert_keyed(when, allocate_order_key(), locus,
+                             std::move(action));
+}
+
+EventId Simulator::insert_keyed(SimTime at, OrderKey key, std::uint32_t locus,
+                                Action action) {
+  if (at < now_) at = now_;
+  return wheel_.insert_keyed(at, key, locus, std::move(action));
 }
 
 EventId Simulator::reschedule(EventId id, SimTime delay, Action action) {
@@ -32,8 +57,9 @@ void Simulator::cancel(EventId id) { wheel_.cancel(id); }
 
 bool Simulator::step_until(SimTime limit) {
   SimTime at;
+  std::uint32_t locus;
   EventAction action;
-  if (!wheel_.pop_until(limit, &at, &action)) return false;
+  if (!wheel_.pop_until(limit, &at, &locus, &action)) return false;
   now_ = at;
   ++executed_;
   // Event-queue depth sampled every 1024 events: cheap enough for the hot
@@ -41,7 +67,13 @@ bool Simulator::step_until(SimTime limit) {
   if (depth_series_ != nullptr && (executed_ & 1023u) == 0) {
     depth_series_->sample(now_, static_cast<double>(wheel_.size()));
   }
+  // The executing event's locus is ambient for its duration, so follow-on
+  // schedules carry the host's identity; the harness locus is restored
+  // afterwards (events can interleave with LocusScope-guarded setup).
+  const std::uint32_t prev = ambient_locus_;
+  ambient_locus_ = locus;
   action();
+  ambient_locus_ = prev;
   return true;
 }
 
@@ -51,6 +83,12 @@ void Simulator::run_until(SimTime until) {
   while (step_until(until)) {
   }
   if (now_ < until) now_ = until;
+}
+
+void Simulator::run_window(SimTime end) {
+  const SimTime limit = SimTime::nanos(end.ns() - 1);
+  while (step_until(limit)) {
+  }
 }
 
 void Simulator::run() {

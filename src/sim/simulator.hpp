@@ -1,8 +1,18 @@
 // Discrete-event simulator.
 //
 // A single-threaded event loop over virtual time. Events scheduled for the
-// same instant run in FIFO order (stable sequence-number tie-break), which
-// makes every run bit-reproducible for a given seed and schedule.
+// same instant run in ascending (locus rank, per-locus sequence) order — a
+// tie-break that is a pure function of which host scheduled the event and
+// that host's own scheduling history, never of how hosts interleave. That
+// makes every run bit-reproducible for a given seed and schedule, and —
+// because the key survives re-partitioning hosts across shards — lets the
+// conservative parallel engine (parallel_sim.hpp) produce bit-identical
+// results for any shard count.
+//
+// The "ambient locus" is the rank (host address) charged for scheduling:
+// while an event executes it is that event's locus, so follow-on schedules
+// inherit the host's identity; outside event execution it is whatever the
+// harness establishes with LocusScope (rank 0 = harness/setup).
 //
 // The pending-event store is a hierarchical timer wheel with a slab-pooled
 // node per event (see timer_wheel.hpp): schedule and cancel are O(1),
@@ -13,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/sim_time.hpp"
 #include "obs/sinks.hpp"
@@ -34,12 +45,38 @@ class Simulator {
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedules `action` to run `delay` after now. Negative delays clamp to
-  /// zero (run "immediately", after already-queued same-time events).
+  /// Schedules `action` to run `delay` after now, executing under the
+  /// current ambient locus. Negative delays clamp to zero (run
+  /// "immediately", after already-queued lower-key same-time events).
   EventId schedule(SimTime delay, Action action);
 
   /// Schedules `action` at an absolute time (clamped to now).
   EventId schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` to execute under locus `locus` (e.g. a datagram
+  /// delivery charged to the receiving host). The order key is still
+  /// allocated from the *ambient* locus — the scheduler's identity decides
+  /// same-tick order; the execution locus decides who the event "is" while
+  /// it runs (and, in the parallel engine, which shard runs it).
+  EventId schedule_for(std::uint32_t locus, SimTime delay, Action action);
+  EventId schedule_at_for(std::uint32_t locus, SimTime when, Action action);
+
+  /// Inserts a fully-specified event: absolute time, explicit order key,
+  /// execution locus. The parallel engine uses this to transplant
+  /// cross-shard events with the key their sender allocated, so the
+  /// receiving wheel orders them exactly as a serial run would have.
+  EventId insert_keyed(SimTime at, OrderKey key, std::uint32_t locus,
+                       Action action);
+
+  /// Allocates the next order key of the ambient locus — for events whose
+  /// insertion is deferred (cross-shard sends claim their key on the
+  /// sending shard, then travel through a mailbox).
+  OrderKey allocate_order_key();
+
+  /// The locus new schedules are charged to. 0 outside event execution
+  /// unless a LocusScope is active; the executing event's locus inside.
+  [[nodiscard]] std::uint32_t ambient_locus() const { return ambient_locus_; }
+  void set_ambient_locus(std::uint32_t locus) { ambient_locus_ = locus; }
 
   /// Cancels `id` (tolerating stale/zero ids) and schedules `action` after
   /// `delay` in one call — the timer-refresh idiom (RFC 3261 timer A
@@ -56,6 +93,18 @@ class Simulator {
   /// Runs events until the queue is empty or `until` is passed. The clock
   /// is left at the last executed event (or `until` if given and reached).
   void run_until(SimTime until);
+
+  /// Runs every event with time strictly before `end` and stops, leaving
+  /// the clock at the last executed event (NOT advanced to `end`). The
+  /// parallel engine's per-shard safe-window step; see advance_to.
+  void run_window(SimTime end);
+
+  /// Clamps the clock forward to `t` (no-op if already past). Applied by
+  /// the parallel engine when a run target is reached, mirroring what
+  /// run_until does for the serial loop.
+  void advance_to(SimTime t) {
+    if (now_ < t) now_ = t;
+  }
 
   /// Runs until the queue drains completely.
   void run();
@@ -91,9 +140,32 @@ class Simulator {
 
   SimTime now_;
   std::uint64_t executed_{0};
+  std::uint32_t ambient_locus_{0};
+  /// Per-locus sequence counters, indexed by rank (grown on demand).
+  std::vector<std::uint64_t> locus_seq_;
   obs::Sinks obs_;
   obs::TimeSeries* depth_series_{nullptr};  // cached metrics series
   TimerWheel wheel_;
+};
+
+/// RAII ambient-locus override: the TestBed wraps component construction
+/// and load start in one of these so setup-time events are charged to the
+/// owning host rather than the harness (rank 0) — a prerequisite for the
+/// parallel engine, which places each host's events on that host's shard.
+class LocusScope {
+ public:
+  LocusScope(Simulator& sim, std::uint32_t locus)
+      : sim_(sim), prev_(sim.ambient_locus()) {
+    sim_.set_ambient_locus(locus);
+  }
+  ~LocusScope() { sim_.set_ambient_locus(prev_); }
+
+  LocusScope(const LocusScope&) = delete;
+  LocusScope& operator=(const LocusScope&) = delete;
+
+ private:
+  Simulator& sim_;
+  std::uint32_t prev_;
 };
 
 /// A repeating timer bound to a simulator. Ticks every `period` until

@@ -81,7 +81,7 @@ void TimerWheel::place(EventNode* n) {
   const std::uint64_t diff = static_cast<std::uint64_t>(n->at) ^
                              static_cast<std::uint64_t>(wheel_now_);
   if ((diff >> (kLevelBits * kLevels)) != 0) {
-    overflow_.push_back(OverflowEntry{n->at, n->seq, n});
+    overflow_.push_back(OverflowEntry{n->at, n->key, n});
     std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
     n->state = kInOverflow;
     ++stats_.overflow_inserts;
@@ -182,9 +182,16 @@ void TimerWheel::rewind(std::int64_t to) {
 }
 
 EventId TimerWheel::insert(SimTime at, EventAction action) {
+  return insert_keyed(at, make_order_key(0, ++next_seq_), /*locus=*/0,
+                      std::move(action));
+}
+
+EventId TimerWheel::insert_keyed(SimTime at, OrderKey key, std::uint32_t locus,
+                                 EventAction action) {
   EventNode* n = alloc_node();
   n->at = at.ns();
-  n->seq = ++next_seq_;
+  n->key = key;
+  n->locus = locus;
   n->action = std::move(action);
   if (n->at < wheel_now_) rewind(n->at);
   place(n);
@@ -253,12 +260,24 @@ bool TimerWheel::peek(SimTime* at) {
 }
 
 bool TimerWheel::pop_until(SimTime limit, SimTime* at, EventAction* action) {
+  std::uint32_t locus;
+  return pop_until(limit, at, &locus, action);
+}
+
+bool TimerWheel::pop_until(SimTime limit, SimTime* at, std::uint32_t* locus,
+                           EventAction* action) {
   SimTime next;
   if (!peek(&next) || next > limit) return false;
   const int slot = std::countr_zero(bitmap_[0]);
-  EventNode* n = slots_[0][slot].head;  // FIFO within the tick
+  // A level-0 slot is a single nanosecond tick; the list is short (usually
+  // one node), so a linear min-key scan beats keeping the list sorted.
+  EventNode* n = slots_[0][slot].head;
+  for (EventNode* c = n->next; c != nullptr; c = c->next) {
+    if (c->key < n->key) n = c;
+  }
   unlink(n);
   *at = SimTime::nanos(n->at);
+  *locus = n->locus;
   *action = std::move(n->action);
   free_node(n);
   --live_;

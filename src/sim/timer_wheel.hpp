@@ -2,12 +2,16 @@
 //
 // Replaces the binary heap + tombstone-set core. Design goals, in order:
 //
-//  1. Bit-identical execution order. Events run in (time, sequence) order —
-//     exactly the old priority_queue tie-break — so every determinism and
-//     replay digest is unchanged. The wheel achieves this structurally:
-//     a level-0 slot holds exactly one nanosecond tick, and every list
-//     operation (append on schedule, cascade, overflow pull) preserves
-//     sequence order within a tick (see the invariant notes below).
+//  1. Bit-identical execution order. Events run in (time, order-key) order.
+//     The key is a caller-supplied 64-bit value — for plain insert() it is a
+//     monotonic sequence number, reproducing the old FIFO tie-break; the
+//     simulator composes it as (locus rank << kLocusSeqBits | per-locus seq)
+//     so that the key is a pure function of *which host* scheduled the event
+//     and *how many* events that host had scheduled before, independent of
+//     how hosts interleave globally. That property is what lets the sharded
+//     parallel engine (parallel_sim.hpp) replay the exact serial order: a
+//     level-0 slot holds exactly one nanosecond tick, and pop_until() selects
+//     the minimum-key node within the tick.
 //  2. O(1) schedule and true O(1) cancel. Events live in intrusive
 //     doubly-linked slot lists; an EventId resolves to its pool node in
 //     O(1) (index + generation), so cancel unlinks and recycles the node
@@ -23,20 +27,16 @@
 // group [6k, 6k+6). Level 0 therefore spans the cursor's current 64 ns
 // window and each of its slots is a single tick; level 7 spans ~78 hours.
 // Events beyond the top level go to an overflow min-heap ordered by
-// (time, seq); cancelled overflow entries are compacted amortized so the
+// (time, key); cancelled overflow entries are compacted amortized so the
 // heap never holds more than ~half dead entries.
 //
 // Ordering invariants (why determinism survives):
-//  * Same-tick events always hash to the same slot at every level, so
-//    their relative order is fully determined by list order.
-//  * schedule() appends; sequence numbers are monotonic, so appended
-//    order == seq order.
+//  * Same-tick events always hash to the same slot at every level, so a
+//    tick's events are always together in one list; pop_until() scans that
+//    (short) list for the minimum key, so insertion order never matters.
 //  * A cascade drains the *lowest* occupied slot into strictly lower,
-//    provably empty levels, moving the list head-to-tail — relative order
-//    preserved.
-//  * Overflow events are pulled in (time, seq) heap order and appended;
-//    a same-tick wheel event cannot already exist (it would have been
-//    beyond the horizon too).
+//    provably empty levels; overflow events are pulled in (time, key) heap
+//    order. Neither changes which list a tick's events end up in.
 //
 // The cursor (wheel_now_) advances monotonically as the earliest event is
 // located; it is independent of the simulator's clock. The one place it can
@@ -60,6 +60,22 @@ namespace svk::sim {
 /// check and cancel becomes a harmless no-op. Never 0 (generations start
 /// at 1), so 0 can be used as a "no event" sentinel.
 using EventId = std::uint64_t;
+
+/// Deterministic same-tick tie-break for an event: the upper bits carry the
+/// execution locus's rank (host address; 0 = harness/setup), the lower bits
+/// a per-locus sequence number. Because every locus executes its own events
+/// in an order independent of how other loci interleave, the key — unlike a
+/// global sequence number — is reproducible under any sharding of hosts,
+/// which is the foundation of the parallel engine's bit-identical digests.
+using OrderKey = std::uint64_t;
+
+/// Bits reserved for the per-locus sequence (~10^12 events per locus).
+inline constexpr int kLocusSeqBits = 40;
+
+[[nodiscard]] constexpr OrderKey make_order_key(std::uint32_t locus_rank,
+                                                std::uint64_t seq) {
+  return (static_cast<OrderKey>(locus_rank) << kLocusSeqBits) | seq;
+}
 
 class TimerWheel {
  public:
@@ -89,7 +105,16 @@ class TimerWheel {
   TimerWheel& operator=(const TimerWheel&) = delete;
 
   /// Schedules `action` at absolute time `at` (>= 0). O(1) amortized.
+  /// The order key is an internal monotonic sequence (locus rank 0), so
+  /// plain inserts keep the historical FIFO same-tick semantics.
   EventId insert(SimTime at, EventAction action);
+
+  /// Schedules with an explicit order key and execution locus. Same-tick
+  /// events run in ascending key order; `locus` is reported back by
+  /// pop_until so the simulator can attribute follow-on scheduling to the
+  /// host whose event is executing.
+  EventId insert_keyed(SimTime at, OrderKey key, std::uint32_t locus,
+                       EventAction action);
 
   /// Removes a pending event. Returns false for stale/unknown ids.
   /// Wheel-resident events are unlinked and recycled immediately;
@@ -102,10 +127,14 @@ class TimerWheel {
   /// observable from outside. Returns false when no events are pending.
   bool peek(SimTime* at);
 
-  /// Pops the earliest pending event if its time is <= `limit`. FIFO among
-  /// same-time events. Returns false when idle or the next event is later
-  /// than `limit`.
+  /// Pops the earliest pending event if its time is <= `limit`; same-time
+  /// events pop in ascending order-key. Returns false when idle or the next
+  /// event is later than `limit`.
   bool pop_until(SimTime limit, SimTime* at, EventAction* action);
+
+  /// As above, additionally reporting the event's execution locus.
+  bool pop_until(SimTime limit, SimTime* at, std::uint32_t* locus,
+                 EventAction* action);
 
   /// Live (scheduled, not cancelled, not run) event count. O(1).
   [[nodiscard]] std::size_t size() const { return live_; }
@@ -128,14 +157,15 @@ class TimerWheel {
 
  private:
   struct EventNode {
-    std::int64_t at = 0;    // absolute expiry, ns
-    std::uint64_t seq = 0;  // monotonic schedule order (FIFO tie-break)
+    std::int64_t at = 0;   // absolute expiry, ns
+    OrderKey key = 0;      // same-tick tie-break (ascending)
     EventNode* prev = nullptr;
     EventNode* next = nullptr;
     std::uint32_t index = 0;  // own slot in the pool
     std::uint32_t gen = 1;    // bumped on every free/invalidate
     std::uint8_t state = 0;   // State
     std::uint8_t level = 0;   // wheel level while state == kInWheel
+    std::uint32_t locus = 0;  // execution locus (host rank; 0 = harness)
     EventAction action;
   };
   enum State : std::uint8_t {
@@ -153,13 +183,13 @@ class TimerWheel {
   };
   struct OverflowEntry {
     std::int64_t at;
-    std::uint64_t seq;
+    OrderKey key;
     EventNode* node;
   };
   struct OverflowLater {
     bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+      return a.key > b.key;
     }
   };
 
@@ -196,7 +226,7 @@ class TimerWheel {
   std::uint64_t bitmap_[kLevels] = {};
   std::vector<std::unique_ptr<Slab>> slabs_;
   std::vector<EventNode*> freelist_;
-  std::vector<OverflowEntry> overflow_;  // min-heap by (at, seq)
+  std::vector<OverflowEntry> overflow_;  // min-heap by (at, key)
   std::size_t overflow_dead_ = 0;
   Stats stats_;
 };

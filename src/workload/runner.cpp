@@ -118,25 +118,35 @@ ObservedPoint measure_point_retained(const BedFactory& factory,
                                      double offered_cps,
                                      const MeasureOptions& options) {
   const auto wall_start = std::chrono::steady_clock::now();
-  std::unique_ptr<TestBed> bed = factory(offered_cps);
+  // Checked runs force the serial engine (the checker observes all hosts
+  // from one timeline); otherwise a nonzero options.shards reaches the
+  // bed through the thread-local override, even past factories that pass
+  // an explicit count of their own.
+  std::unique_ptr<TestBed> bed;
+  if (const std::size_t requested = options.check ? 1 : options.shards;
+      requested != 0) {
+    TestBed::ShardsOverride force(requested);
+    bed = factory(offered_cps);
+  } else {
+    bed = factory(offered_cps);
+  }
   if (options.observe) bed->enable_observability();
   if (options.check) bed->enable_checking(options.check_options);
-  sim::Simulator& sim = bed->sim();
 
   bed->start_load();
-  sim.run_until(options.warmup);
+  bed->run_until(options.warmup);
 
   const Snapshot before = take_snapshot(*bed);
   std::vector<sim::UtilizationProbe> probes;
   probes.reserve(bed->proxies().size());
   for (const auto& proxy : bed->proxies()) {
-    probes.emplace_back(proxy->cpu(), sim);
+    probes.emplace_back(proxy->cpu(), proxy->sim());
   }
   for (auto& uac : bed->uacs()) {
     uac->metrics().setup_time_ms.reset();
   }
 
-  sim.run_until(options.warmup + options.measure);
+  bed->run_until(options.warmup + options.measure);
   const Snapshot after = take_snapshot(*bed);
   const double secs = options.measure.to_seconds();
 

@@ -137,6 +137,17 @@ void enroll_auth_user(proxy::ProxyServer& proxy) {
                                  std::string(kAuthPassword));
 }
 
+/// Builds the bed every factory starts from, applying the scenario-level
+/// knobs that must precede host declaration (shard count, link latency).
+std::unique_ptr<TestBed> make_bed(const ScenarioOptions& options) {
+  auto bed = std::make_unique<TestBed>(options.seed, options.shards);
+  if (options.link_latency > SimTime{}) {
+    bed->network().set_default_link(
+        sim::LinkParams{options.link_latency, SimTime{}, 0.0});
+  }
+  return bed;
+}
+
 }  // namespace
 
 std::unique_ptr<proxy::StatePolicy> make_policy(
@@ -153,7 +164,7 @@ BedFactory single_proxy(ScenarioOptions options) {
 BedFactory series_chain(int num_proxies, ScenarioOptions options) {
   assert(num_proxies >= 1);
   return [num_proxies, options](double offered_cps) {
-    auto bed = std::make_unique<TestBed>(options.seed);
+    auto bed = make_bed(options);
 
     // Declare proxy hosts first so route tables can reference them.
     std::vector<std::string> hosts;
@@ -191,7 +202,7 @@ BedFactory two_series_with_internal(double external_fraction,
                                     ScenarioOptions options) {
   assert(external_fraction >= 0.0 && external_fraction <= 1.0);
   return [external_fraction, options](double offered_cps) {
-    auto bed = std::make_unique<TestBed>(options.seed);
+    auto bed = make_bed(options);
 
     const std::string host0 = "proxy0.example.net";
     const std::string host1 = "proxy1.example.net";
@@ -232,7 +243,7 @@ BedFactory two_series_with_internal(double external_fraction,
 BedFactory parallel_fork(ScenarioOptions options, double split_to_upper) {
   assert(split_to_upper > 0.0 && split_to_upper < 1.0 + 1e-9);
   return [options, split_to_upper](double offered_cps) {
-    auto bed = std::make_unique<TestBed>(options.seed);
+    auto bed = make_bed(options);
 
     const std::string host0 = "proxy0.example.net";
     const std::string hostA = "proxya.example.net";
@@ -266,6 +277,68 @@ BedFactory parallel_fork(ScenarioOptions options, double split_to_upper) {
                                policy_for(options, idx, false, true));
       p.set_upstream_proxies({addr0});
       (void)addr;
+    }
+
+    add_uas_farm(*bed, options, kCalleeDomain);
+    add_uac_group(*bed, options, "main", addr0, kCalleeDomain, offered_cps,
+                  host0, "nonce-" + host0);
+    bed->install_faults(options.faults);
+    return bed;
+  };
+}
+
+BedFactory wide_fork(int num_exits, ScenarioOptions options) {
+  assert(num_exits >= 2);
+  return [num_exits, options](double offered_cps) {
+    auto bed = make_bed(options);
+    const int num_shards = static_cast<int>(bed->shard_count());
+    // The balancer carries every call — roughly as many per-message events
+    // as a whole exit-farm's worth of any other role — so it gets shard 0
+    // to itself (plus the harness locus). Exits AND the UAC/UAS boxes
+    // spread over the remaining shards; leaving the boxes on the default
+    // all-shards round-robin would put ~40% of all events on shard 0 and
+    // cap the parallel speedup there. Placement never changes simulation
+    // results (the engine's shard-invariance), only wall-clock balance.
+    int spread_next = 0;
+    const auto spread_shard = [num_shards, &spread_next] {
+      return num_shards <= 1 ? -1 : 1 + (spread_next++ % (num_shards - 1));
+    };
+
+    const std::string host0 = "lb.example.net";
+    const Address addr0 = bed->declare_host(host0, /*shard_hint=*/0);
+    std::vector<std::string> hosts;
+    std::vector<Address> addrs;
+    for (int i = 0; i < num_exits; ++i) {
+      hosts.push_back("exit" + std::to_string(i) + ".example.net");
+      addrs.push_back(bed->declare_host(hosts.back(), spread_shard()));
+    }
+    // Pre-declare the endpoint boxes (declare_host is idempotent, so the
+    // add_uas/add_uac calls below pick up these placements).
+    for (int j = 0; j < options.num_uas; ++j) {
+      bed->declare_host("uas" + std::to_string(j) + "." +
+                            std::string(kCalleeDomain),
+                        spread_shard());
+    }
+    for (int k = 0; k < std::max(1, options.num_uacs); ++k) {
+      bed->declare_host("uac" + std::to_string(k) + ".main.client.net",
+                        spread_shard());
+    }
+
+    proxy::RouteTable routes0;
+    routes0.add_route(std::string(kCalleeDomain), addrs);
+    auto& p0 = bed->add_proxy(
+        proxy_config(options, 0, host0, options.authenticate),
+        std::move(routes0), policy_for(options, 0, true, false));
+    if (options.authenticate) enroll_auth_user(p0);
+
+    for (int i = 0; i < num_exits; ++i) {
+      proxy::RouteTable routes;
+      routes.add_local(std::string(kCalleeDomain));
+      const std::size_t idx = static_cast<std::size_t>(i) + 1;
+      auto& p = bed->add_proxy(proxy_config(options, idx, hosts[i], false),
+                               std::move(routes),
+                               policy_for(options, idx, false, true));
+      p.set_upstream_proxies({addr0});
     }
 
     add_uas_farm(*bed, options, kCalleeDomain);

@@ -2,6 +2,19 @@
 // with their policies and route tables, UAS farms, UAC load generators,
 // user registrations. One TestBed = one experiment run (fresh simulator,
 // deterministic for a given seed).
+//
+// Sharding. A TestBed owns a sim::ShardSet of `shards` simulators (default
+// 1 = the classic serial engine). The count is resolved at construction,
+// strongest first: an active ShardsOverride (the runner's
+// MeasureOptions.shards, and how checked runs force the serial engine),
+// then the constructor argument, then the SVK_SIM_SHARDS environment
+// variable, then 1. Hosts are assigned to shards round-robin in declaration
+// order (or explicitly via declare_host's shard hint); each component is
+// constructed against its host's shard simulator under a LocusScope, so
+// even setup-time events carry the owning host's identity. A sharded bed
+// must be driven through run_until() — never through sim().run_until(),
+// which advances only shard 0 — and produces bit-identical RunRecord
+// digests for any shard count.
 #pragma once
 
 #include <memory>
@@ -16,6 +29,7 @@
 #include "proxy/host_registry.hpp"
 #include "proxy/location.hpp"
 #include "proxy/proxy.hpp"
+#include "sim/parallel_sim.hpp"
 #include "sim/simulator.hpp"
 #include "workload/uac.hpp"
 #include "workload/uas.hpp"
@@ -28,9 +42,34 @@ using PolicyFactory =
 
 class TestBed {
  public:
-  explicit TestBed(std::uint64_t seed = 1);
+  /// `shards` == 0 defers to ShardsOverride, then SVK_SIM_SHARDS, then 1.
+  explicit TestBed(std::uint64_t seed = 1, std::size_t shards = 0);
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  /// Thread-local shard-count override (RAII): while one is alive, every
+  /// TestBed constructed on this thread uses its count, beating even an
+  /// explicit constructor argument. The runner wraps bed-factory
+  /// invocations in one of these so MeasureOptions.shards reaches
+  /// factories that only take a seed — and so checked runs can force the
+  /// serial engine regardless of what the factory asks for.
+  class ShardsOverride {
+   public:
+    explicit ShardsOverride(std::size_t shards);
+    ~ShardsOverride();
+    ShardsOverride(const ShardsOverride&) = delete;
+    ShardsOverride& operator=(const ShardsOverride&) = delete;
+
+   private:
+    std::size_t prev_;
+  };
+
+  /// Shard 0's simulator — THE simulator of a serial (1-shard) bed. For
+  /// sharded beds use run_until()/now(); this accessor remains for serial
+  /// tests and for harness-side scheduling (rank 0 lives on shard 0).
+  [[nodiscard]] sim::Simulator& sim() { return shards_.shard(0); }
+  [[nodiscard]] sim::ShardSet& shards() { return shards_; }
+  [[nodiscard]] std::size_t shard_count() const {
+    return shards_.shard_count();
+  }
   [[nodiscard]] proxy::SipNetwork& network() { return network_; }
   [[nodiscard]] proxy::HostRegistry& registry() { return registry_; }
   [[nodiscard]] const std::shared_ptr<proxy::LocationService>& location()
@@ -38,8 +77,17 @@ class TestBed {
     return location_;
   }
 
+  /// Advances the whole bed (every shard) through `until`, refreshing the
+  /// lookahead from the network's minimum link latency first. The only
+  /// correct way to drive a sharded bed; equivalent to sim().run_until()
+  /// for a serial one.
+  void run_until(SimTime until);
+  [[nodiscard]] SimTime now() const { return shards_.now(); }
+
   /// Allocates an address and binds `host` to it in the registry.
-  Address declare_host(const std::string& host);
+  /// `shard_hint` >= 0 pins the host to that shard (modulo shard count);
+  /// the default assigns round-robin in declaration order.
+  Address declare_host(const std::string& host, int shard_hint = -1);
 
   /// Adds a proxy. The route table refers to hosts by name (declare them
   /// first or reference UAS/proxy hosts added earlier).
@@ -77,7 +125,10 @@ class TestBed {
   /// Turns on observability for this bed (idempotent): creates the backend
   /// bundle, installs its sinks on the simulator, and names each declared
   /// host's trace timeline. Works before or after elements are added —
-  /// components read the simulator's Sinks struct by stable address.
+  /// components read the simulator's Sinks struct by stable address. In a
+  /// sharded bed every shard gets a private bundle, drained into the
+  /// primary one at window barriers (audit logs re-sorted by (time, node),
+  /// the serial append order, so snapshots stay digest-identical).
   obs::Observability& enable_observability(obs::Options options = {});
 
   /// Null when observability was never enabled.
@@ -86,7 +137,9 @@ class TestBed {
   /// Arms a fault plan against this bed: every declared host becomes a
   /// valid fault target (proxies additionally expose their CPU for
   /// cpu_degrade events). Call after all elements are added and before the
-  /// simulation runs; a no-op for an empty plan.
+  /// simulation runs; a no-op for an empty plan. Fault events are global —
+  /// in a sharded bed they apply at window barriers (same ordering as the
+  /// serial engine's rank-0 events).
   void install_faults(const fault::FaultPlan& plan);
 
   /// Null when no plan was installed.
@@ -99,14 +152,16 @@ class TestBed {
   /// datagram with the wire checker, and starts the periodic run-invariant
   /// sweep. Call AFTER all elements are added and before the simulation
   /// runs (idempotent; live transactions are not retrofitted). Checking is
-  /// read-only: a checked run produces bit-identical results.
+  /// read-only: a checked run produces bit-identical results. Serial-engine
+  /// only (the checker holds cross-host state); the runner forces
+  /// shards = 1 for checked points.
   check::RunChecker& enable_checking(check::CheckOptions options = {});
 
   /// Null when checking was never enabled.
   [[nodiscard]] check::RunChecker* checker() { return checker_.get(); }
 
  private:
-  sim::Simulator sim_;
+  sim::ShardSet shards_;
   Rng rng_;
   proxy::HostRegistry registry_;
   std::shared_ptr<proxy::LocationService> location_;
@@ -115,6 +170,8 @@ class TestBed {
   /// (address, host) pairs in declaration order, for trace thread names.
   std::vector<std::pair<std::uint32_t, std::string>> host_names_;
   std::unique_ptr<obs::Observability> obs_;
+  /// Shards 1..K-1's private bundles (empty for serial beds).
+  std::vector<std::unique_ptr<obs::Observability>> shard_obs_;
   std::unique_ptr<fault::FaultInjector> injector_;
   /// Declared before the elements that hold raw tap pointers into it, so
   /// it outlives them on destruction.

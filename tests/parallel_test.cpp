@@ -1,0 +1,235 @@
+// Parallel-engine suite (ctest -L parallel): the cardinal invariant of the
+// sharded simulator (sim::ShardSet) is that a run's RunRecord is
+// bit-identical for ANY shard count — 2 or 4 shards must reproduce the
+// serial engine exactly, fault plans and observability included. These
+// tests assert that digest parity end-to-end on real topologies, plus the
+// ShardSet's own ordering contracts (cross-shard delivery, barrier-applied
+// globals, shard-count resolution precedence).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "fault/fault_plan.hpp"
+#include "generators.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/simulator.hpp"
+#include "workload/runner.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/testbed.hpp"
+
+namespace svk::workload {
+namespace {
+
+/// 1/100-scale nodes (T_SF ~103.6 cps) keep each run to a few simulated
+/// seconds; the sharded engine still executes thousands of safe windows.
+constexpr double kScale = 0.01;
+
+ScenarioOptions scaled_options(PolicyKind policy, std::size_t num_proxies) {
+  ScenarioOptions options;
+  options.policy = policy;
+  options.capacity_scale.assign(num_proxies, kScale);
+  options.controller_period = SimTime::seconds(0.5);
+  return options;
+}
+
+MeasureOptions quick_measure(std::size_t shards, bool observe) {
+  MeasureOptions options;
+  options.warmup = SimTime::seconds(1.0);
+  options.measure = SimTime::seconds(2.0);
+  options.observe = observe;
+  options.shards = shards;
+  return options;
+}
+
+/// The digest under test: the full serialized RunRecord (controller audit
+/// windows included) with only the host-noise wall clock zeroed.
+std::string record_json(const PointResult& point) {
+  RunRecord record = to_run_record(point, 1.0, "parallel");
+  record.wall_seconds = 0.0;
+  return record.to_json().dump();
+}
+
+void expect_shard_invariant(const BedFactory& factory, double offered,
+                            bool observe) {
+  const std::string serial =
+      record_json(measure_point(factory, offered, quick_measure(1, observe)));
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const std::string sharded = record_json(
+        measure_point(factory, offered, quick_measure(shards, observe)));
+    EXPECT_EQ(serial, sharded);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end digest parity
+// ---------------------------------------------------------------------------
+
+TEST(ShardInvarianceTest, Fig5ChainWithControllerAndObservability) {
+  // The paper's two-series chain under the dynamic controller, with the
+  // observability layer on: the digest then covers the merged controller
+  // audit windows, so per-shard sink draining is exercised too.
+  const BedFactory factory =
+      series_chain(2, scaled_options(PolicyKind::kServartuka, 2));
+  expect_shard_invariant(factory, 110.0, /*observe=*/true);
+}
+
+TEST(ShardInvarianceTest, WideForkSixteenExits) {
+  ScenarioOptions options =
+      scaled_options(PolicyKind::kStaticChainLastStateful, 17);
+  options.num_uacs = 4;
+  options.num_uas = 4;
+  const BedFactory factory = wide_fork(16, options);
+  expect_shard_invariant(factory, 80.0, /*observe=*/false);
+}
+
+TEST(ShardInvarianceTest, ChaosPlanAppliesAtBarriersIdentically) {
+  // A seeded random fault schedule (crash, partition, bursts, cpu degrade)
+  // against the two-series topology: every fault is a global event, applied
+  // by the coordinator at a window barrier — bit-identical to the serial
+  // engine's rank-0 schedule.
+  chaos::FaultScheduleOptions fopt;
+  fopt.crashable = {"proxy1.example.net"};
+  fopt.degradable = {"proxy0.example.net", "proxy1.example.net"};
+  fopt.links = {{"proxy0.example.net", "proxy1.example.net"}};
+  fopt.window_start_s = 0.5;
+  fopt.window_end_s = 2.5;
+
+  ScenarioOptions options = scaled_options(PolicyKind::kServartuka, 2);
+  options.seed = 7;
+  options.faults = chaos::generate_fault_schedule(7, fopt);
+  ASSERT_FALSE(options.faults.empty());
+
+  const BedFactory factory = two_series_with_internal(0.7, options);
+  expect_shard_invariant(factory, 115.0, /*observe=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count resolution
+// ---------------------------------------------------------------------------
+
+TEST(ShardResolutionTest, OverrideBeatsConstructorBeatsEnv) {
+  ASSERT_EQ(::setenv("SVK_SIM_SHARDS", "3", 1), 0);
+  {
+    TestBed env_only(1);
+    EXPECT_EQ(env_only.shard_count(), 3u);
+    TestBed ctor_set(1, 2);
+    EXPECT_EQ(ctor_set.shard_count(), 2u);
+    {
+      TestBed::ShardsOverride force(4);
+      TestBed forced(1, 2);
+      EXPECT_EQ(forced.shard_count(), 4u);
+    }
+    TestBed after_scope(1, 2);
+    EXPECT_EQ(after_scope.shard_count(), 2u);
+  }
+  ASSERT_EQ(::unsetenv("SVK_SIM_SHARDS"), 0);
+  TestBed plain(1);
+  EXPECT_EQ(plain.shard_count(), 1u);
+}
+
+TEST(ShardResolutionTest, CheckedRunsForceSerialEngine) {
+  const BedFactory factory =
+      series_chain(2, scaled_options(PolicyKind::kServartuka, 2));
+  MeasureOptions options = quick_measure(/*shards=*/4, /*observe=*/false);
+  options.check = true;
+  const ObservedPoint observed =
+      measure_point_retained(factory, 110.0, options);
+  EXPECT_EQ(observed.bed->shard_count(), 1u);
+  EXPECT_EQ(observed.point.check_violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ShardSet ordering contracts
+// ---------------------------------------------------------------------------
+
+TEST(ShardSetTest, CrossShardEventsDeliverAfterLookahead) {
+  sim::ShardSet shards(2);
+  shards.assign_rank(1, 0);
+  shards.assign_rank(2, 1);
+  shards.set_lookahead(SimTime::micros(100));
+
+  // Each vector is only touched by its owner shard's thread (and the
+  // coordinator between barriers), so no synchronization is needed.
+  std::vector<std::int64_t> shard1_log;
+
+  sim::Simulator& s0 = shards.shard(0);
+  {
+    sim::LocusScope scope(s0, 1);
+    s0.schedule_at(SimTime::micros(50), sim::EventAction([&] {
+      // Host 1 (shard 0) sends to host 2 (shard 1): the event lands one
+      // lookahead later, via the mailbox, carrying a key allocated here.
+      const SimTime at = s0.now() + SimTime::micros(100);
+      sim::RemoteEvent ev{at, s0.allocate_order_key(), 2,
+                          sim::EventAction([&shard1_log, &shards] {
+                            shard1_log.push_back(
+                                shards.shard(1).now().ns());
+                          })};
+      shards.post_remote(0, 1, std::move(ev));
+    }));
+  }
+  shards.run_until(SimTime::millis(1));
+
+  ASSERT_EQ(shard1_log.size(), 1u);
+  EXPECT_EQ(shard1_log[0], SimTime::micros(150).ns());
+  EXPECT_EQ(shards.now(), SimTime::millis(1));
+  EXPECT_GT(shards.windows_run(), 0u);
+}
+
+TEST(ShardSetTest, GlobalEventsRunBetweenWindowsAtExactTime) {
+  sim::ShardSet shards(2);
+  shards.assign_rank(1, 0);
+  shards.assign_rank(2, 1);
+  shards.set_lookahead(SimTime::micros(100));
+
+  bool global_ran = false;
+  std::int64_t global_now0 = -1;
+  std::int64_t global_now1 = -1;
+  bool host_saw_global = false;
+
+  // A host event at exactly the global's time must run after it (the
+  // serial engine orders the rank-0 global first at the same tick).
+  {
+    sim::Simulator& s1 = shards.shard(1);
+    sim::LocusScope scope(s1, 2);
+    s1.schedule_at(SimTime::millis(2), sim::EventAction([&] {
+      host_saw_global = global_ran;
+    }));
+  }
+  shards.schedule_global(SimTime::millis(2), [&] {
+    global_ran = true;
+    global_now0 = shards.shard(0).now().ns();
+    global_now1 = shards.shard(1).now().ns();
+  });
+
+  shards.run_until(SimTime::millis(3));
+
+  EXPECT_TRUE(global_ran);
+  // Every shard clock is pinned to exactly the global's time when it runs
+  // (fault hooks read sim.now()).
+  EXPECT_EQ(global_now0, SimTime::millis(2).ns());
+  EXPECT_EQ(global_now1, SimTime::millis(2).ns());
+  EXPECT_TRUE(host_saw_global);
+}
+
+TEST(ShardSetTest, SingleShardRunsWithoutThreadsOrWindows) {
+  sim::ShardSet shards(1);
+  shards.assign_rank(1);
+  int fired = 0;
+  {
+    sim::Simulator& s0 = shards.shard(0);
+    sim::LocusScope scope(s0, 1);
+    s0.schedule_at(SimTime::seconds(1.0),
+                   sim::EventAction([&fired] { ++fired; }));
+  }
+  shards.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(shards.windows_run(), 0u);
+  EXPECT_EQ(shards.shard(0).now(), SimTime::seconds(2.0));
+}
+
+}  // namespace
+}  // namespace svk::workload

@@ -2,9 +2,12 @@
 // serialization round-trips, branch generation and transaction keys.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <string_view>
 
+#include "common/rng.hpp"
 #include "sip/branch.hpp"
 #include "sip/message.hpp"
 #include "sip/methods.hpp"
@@ -674,6 +677,181 @@ TEST(TxnKeyTest, HashConsistentWithEquality) {
   const Message msg = make_invite();
   TransactionKeyHash hash;
   EXPECT_EQ(hash(server_key(msg)), hash(server_key(msg)));
+}
+
+// ---------------------------------------------------------------------------
+// Generator-based wire properties
+// ---------------------------------------------------------------------------
+//
+// A seeded generator produces structurally varied messages (deep Via
+// stacks past the SmallVector inline capacity of 4, route sets past their
+// inline capacity of 2, extension headers, bodies, oc feedback), and the
+// parser must (a) reproduce them bit-for-bit from the wire and (b) survive
+// arbitrarily torn/truncated datagrams without crashing — a UDP receiver
+// sees whatever the network delivers.
+
+Message random_message(Rng& rng) {
+  static constexpr const char* kUsers[] = {"alice", "bob", "", "burdell"};
+  static constexpr const char* kHosts[] = {"a.example.com", "b.example.org",
+                                           "proxy0.example.net",
+                                           "uas3.callee.example.net"};
+  static constexpr const char* kDisplays[] = {"", "Hal", "Op Ratio"};
+  static constexpr Method kMethods[] = {Method::kInvite, Method::kBye,
+                                        Method::kRegister, Method::kOptions};
+  const auto user = [&] { return kUsers[rng.uniform_int(4)]; };
+  const auto host = [&] { return kHosts[rng.uniform_int(4)]; };
+  const auto display = [&] { return kDisplays[rng.uniform_int(3)]; };
+
+  const Method method = kMethods[rng.uniform_int(4)];
+  Message msg = Message::request(
+      method, Uri(user(), host()),
+      NameAddr{display(), Uri(user(), host()),
+               "tag-" + std::to_string(rng.uniform_int(1000))},
+      NameAddr{display(), Uri(user(), host()), ""},
+      "call-" + std::to_string(rng.uniform_int(100000)),
+      CSeq{static_cast<std::uint32_t>(1 + rng.uniform_int(5000)), method});
+
+  // 1..10 Vias: well past ViaList's inline capacity of 4, so growth into
+  // heap storage (and back through the parser) is always exercised.
+  const std::size_t num_vias = 1 + rng.uniform_int(10);
+  for (std::size_t i = 0; i < num_vias; ++i) {
+    Via via{rng.uniform_int(2) == 0 ? "SIP/2.0/UDP" : "SIP/2.0/TCP", host(),
+            "z9hG4bK-" + std::to_string(rng.uniform_int(1u << 30))};
+    if (rng.uniform_int(3) == 0) {
+      // %.3f serialization: eighths round-trip exactly through strtod.
+      via.oc_rate = static_cast<double>(rng.uniform_int(8000)) / 8.0;
+    }
+    msg.push_via(std::move(via));
+  }
+
+  for (std::size_t i = rng.uniform_int(5); i > 0; --i) {
+    msg.routes().push_back(Uri("", host()));
+  }
+  for (std::size_t i = rng.uniform_int(5); i > 0; --i) {
+    msg.record_routes().push_back(Uri("", host()));
+  }
+  for (std::size_t i = rng.uniform_int(4); i > 0; --i) {
+    msg.set_header("X-Prop-" + std::to_string(i),
+                   "v" + std::to_string(rng.uniform_int(100)));
+  }
+  if (rng.uniform_int(2) == 0) {
+    msg.set_contact(NameAddr{display(), Uri(user(), host()), ""});
+  }
+  if (rng.uniform_int(2) == 0) {
+    std::string body;
+    for (std::size_t i = 1 + rng.uniform_int(40); i > 0; --i) {
+      body += static_cast<char>('a' + rng.uniform_int(26));
+    }
+    msg.set_body(body);
+  }
+  msg.set_max_forwards(static_cast<int>(rng.uniform_int(71)));
+  return msg;
+}
+
+TEST(WirePropertyTest, RandomMessagesRoundTripExactly) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const Message msg = random_message(rng);
+    const auto parsed = Parser::parse(msg.to_wire());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const Message& round = parsed.value();
+    EXPECT_EQ(round.method(), msg.method());
+    EXPECT_EQ(round.request_uri(), msg.request_uri());
+    EXPECT_EQ(round.vias(), msg.vias());
+    EXPECT_EQ(round.from(), msg.from());
+    EXPECT_EQ(round.to(), msg.to());
+    EXPECT_EQ(round.call_id(), msg.call_id());
+    EXPECT_EQ(round.cseq(), msg.cseq());
+    EXPECT_EQ(round.max_forwards(), msg.max_forwards());
+    EXPECT_EQ(round.routes(), msg.routes());
+    EXPECT_EQ(round.record_routes(), msg.record_routes());
+    EXPECT_EQ(round.body(), msg.body());
+    // The reparse must be a fixed point of serialization.
+    EXPECT_EQ(round.to_wire(), msg.to_wire());
+  }
+}
+
+TEST(WirePropertyTest, OversizedViaChainSurvivesCommaCombinedForm) {
+  // Some elements comma-combine Via headers (RFC 3261 7.3.1). Fold a
+  // 9-deep stack into a single header line: the parser must split it back
+  // into the identical stack, growing past the inline capacity.
+  Message msg = make_invite();
+  msg.pop_via();
+  for (int i = 0; i < 9; ++i) {
+    msg.push_via(Via{"SIP/2.0/UDP", "h" + std::to_string(i) + ".example.com",
+                     "z9hG4bK-v" + std::to_string(i)});
+  }
+  const std::string wire = msg.to_wire();
+
+  // Splice every "Via: ..." line into one comma-separated value, keeping
+  // all other lines (request line first) in order.
+  std::string combined;
+  std::string rest;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t eol = wire.find("\r\n", pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string_view line(wire.data() + pos, eol - pos);
+    if (line.substr(0, 4) == "Via:") {
+      if (!combined.empty()) combined += ", ";
+      combined += std::string(line.substr(5));
+    } else {
+      rest += std::string(line);
+      rest += "\r\n";
+    }
+    pos = eol + 2;
+  }
+  const std::size_t after_request_line = rest.find("\r\n") + 2;
+  const std::string rewired = rest.substr(0, after_request_line) + "Via: " +
+                              combined + "\r\n" +
+                              rest.substr(after_request_line);
+
+  const auto parsed = Parser::parse(rewired);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().vias(), msg.vias());
+}
+
+TEST(WirePropertyTest, TruncatedDatagramsNeverCrashParser) {
+  // Cut every generated wire at every byte offset. The parser must return
+  // (an error or, for the rare self-delimiting prefix, a message) without
+  // crashing or reading past the buffer; any accepted prefix must itself
+  // round-trip cleanly.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const std::string wire = random_message(rng).to_wire();
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      const auto parsed = Parser::parse(std::string_view(wire).substr(0, cut));
+      if (parsed.ok()) {
+        const auto again = Parser::parse(parsed.value().to_wire());
+        ASSERT_TRUE(again.ok())
+            << "accepted prefix (cut=" << cut << ") does not round-trip";
+      }
+    }
+  }
+}
+
+TEST(WirePropertyTest, TornDatagramsNeverCrashParser) {
+  // A torn datagram: a random interior span deleted (two fragments glued
+  // together), as produced by a splitting sender or a corrupting path.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed ^ 0x7EA7);
+    const std::string wire = random_message(rng).to_wire();
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t a = rng.uniform_int(wire.size());
+      const std::size_t b = a + rng.uniform_int(wire.size() - a);
+      std::string torn = wire.substr(0, a) + wire.substr(b);
+      const auto parsed = Parser::parse(torn);
+      if (parsed.ok()) {
+        const auto again = Parser::parse(parsed.value().to_wire());
+        ASSERT_TRUE(again.ok())
+            << "accepted torn datagram [" << a << "," << b
+            << ") does not round-trip";
+      }
+    }
+  }
 }
 
 }  // namespace

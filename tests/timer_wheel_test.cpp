@@ -268,6 +268,88 @@ TEST(TimerWheelTest, ChurnHeavyScheduleIsBitReproducible) {
 }
 
 // ---------------------------------------------------------------------------
+// Safe-window edge cases: the parallel engine (sim/parallel_sim) drives the
+// wheel through run_window() slices with keyed cross-shard inserts between
+// them. These pin the wheel behaviors that makes correct: rescheduling an
+// event across a window boundary, key-order ties between overflow-heap and
+// in-wheel events at one tick, and cursor rewind after a window barrier.
+// ---------------------------------------------------------------------------
+
+TEST(TimerWheelTest, RescheduleAcrossWindowBoundaryFiresOnceAtNewTime) {
+  Simulator sim;
+  std::vector<std::int64_t> fired;
+  EventId id =
+      sim.schedule_at(SimTime::micros(50),
+                      [&fired, &sim] { fired.push_back(sim.now().ns()); });
+  sim.schedule_at(SimTime::micros(40), [&] {
+    // Move the 50us event into the NEXT safe window [100us, 200us).
+    id = sim.reschedule(id, SimTime::micros(110),
+                        [&fired, &sim] { fired.push_back(sim.now().ns()); });
+  });
+
+  sim.run_window(SimTime::micros(100));
+  EXPECT_TRUE(fired.empty());  // the original 50us firing must be gone
+  sim.run_window(SimTime::micros(200));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], SimTime::micros(150).ns());
+}
+
+TEST(TimerWheelTest, OverflowAndWheelEventsTieOnSameTickByKey) {
+  TimerWheel wheel;
+  // T sits beyond the 2^48 ns wheel horizon, so the first insert lands in
+  // the overflow heap. Its key says locus 2.
+  const SimTime t = SimTime::nanos((1ll << 48) + 12345);
+  wheel.insert_keyed(t, make_order_key(2, 1), /*locus=*/2, EventAction([] {}));
+  EXPECT_EQ(wheel.stats().overflow_inserts, 1u);
+
+  // Drain an intermediate event to advance the cursor; the wheel then
+  // jumps to the overflow front and pulls T into the wheel proper.
+  wheel.insert_keyed(SimTime::seconds(1.0), make_order_key(3, 1), 3,
+                     EventAction([] {}));
+  SimTime at;
+  std::uint32_t locus;
+  EventAction action;
+  ASSERT_TRUE(wheel.pop_until(SimTime::max(), &at, &locus, &action));
+  EXPECT_EQ(locus, 3u);
+
+  // A direct insert at exactly T with a smaller key (locus 1) must pop
+  // BEFORE the overflow-travelled event: same tick, key order decides.
+  wheel.insert_keyed(t, make_order_key(1, 7), /*locus=*/1, EventAction([] {}));
+  ASSERT_TRUE(wheel.pop_until(SimTime::max(), &at, &locus, &action));
+  EXPECT_EQ(at, t);
+  EXPECT_EQ(locus, 1u);
+  ASSERT_TRUE(wheel.pop_until(SimTime::max(), &at, &locus, &action));
+  EXPECT_EQ(at, t);
+  EXPECT_EQ(locus, 2u);
+  EXPECT_FALSE(wheel.pop_until(SimTime::max(), &at, &locus, &action));
+}
+
+TEST(TimerWheelTest, RewindAfterWindowBarrierKeepsTimeOrder) {
+  Simulator sim;
+  std::vector<std::int64_t> fired;
+  const auto record = [&fired, &sim] { fired.push_back(sim.now().ns()); };
+
+  // Only a far-future event exists: running a window peeks toward it and
+  // cascades the cursor well past the window end.
+  sim.schedule_at(SimTime::millis(10), record);
+  sim.run_window(SimTime::micros(100));
+  EXPECT_TRUE(fired.empty());
+
+  // A barrier-time insert lands between the window end and the cursor —
+  // exactly what a cross-shard mailbox drain does — forcing a rewind.
+  sim.insert_keyed(SimTime::micros(150), make_order_key(1, 1), 1,
+                   EventAction(record));
+  sim.run_window(SimTime::millis(1));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], SimTime::micros(150).ns());
+  EXPECT_GE(sim.event_stats().rewinds, 1u);
+
+  sim.run_until(SimTime::millis(20));
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], SimTime::millis(10).ns());
+}
+
+// ---------------------------------------------------------------------------
 // Message pool: the copy-on-forward path recycles its shared blocks.
 // ---------------------------------------------------------------------------
 
