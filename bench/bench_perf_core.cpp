@@ -18,10 +18,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/flat_table.hpp"
+#include "common/hash.hpp"
+#include "common/slab.hpp"
 #include "sim/simulator.hpp"
 #include "sip/branch.hpp"
 #include "sip/message.hpp"
@@ -176,6 +181,168 @@ double bench_to_wire(std::uint64_t iters) {
 }
 
 // ---------------------------------------------------------------------------
+// Microbench 4: state-store churn. The transaction/dialog tables were the
+// last allocation-heavy layer of the hot loop; this measures the flat
+// slab-backed store (FlatTable of precomputed-hash entries over a Slab,
+// probes are hashed string_views) against the node-based layout it replaced
+// (unordered_map keyed by owning TransactionKey strings, unique_ptr
+// values), on the dispatch pattern the proxy actually runs: look up by key
+// fields read off a message, and churn (erase + re-create) at call
+// completion. The slab/table alloc counters around the steady churn phase
+// are the regression gate: once warm, the store must touch no allocator.
+// ---------------------------------------------------------------------------
+struct StateStoreNumbers {
+  double flat_dispatch_per_sec = 0.0;
+  double map_dispatch_per_sec = 0.0;
+  double flat_churn_per_sec = 0.0;
+  double map_churn_per_sec = 0.0;
+  std::uint64_t steady_allocs = 0;  // slab chunk allocs + table grows
+};
+
+StateStoreNumbers bench_state_store(std::size_t population,
+                                    std::uint64_t lookups,
+                                    std::uint64_t churn_iters) {
+  // A slab-resident stand-in for a transaction: owns its key fields the way
+  // a real transaction owns its retained request (key-inside-value).
+  struct FakeTxn {
+    std::string branch;
+    std::string sent_by;
+    sip::Method method = sip::Method::kInvite;
+    std::uint64_t hits = 0;
+  };
+
+  // Key corpus with realistic shapes: per-call branch tokens, a handful of
+  // sending hosts (Via sent-by values repeat across calls at one element).
+  std::vector<std::string> branches(population);
+  std::vector<std::string> hosts(8);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    hosts[i] = "proxy" + std::to_string(i) + ".example.test";
+  }
+  for (std::size_t i = 0; i < population; ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "z9hG4bK-%zx-%zx", i, i * 2654435761u);
+    branches[i] = buf;
+  }
+  const auto host_of = [&](std::size_t i) -> const std::string& {
+    return hosts[i % hosts.size()];
+  };
+  // Deterministic scrambled visit order (no RNG: golden-ratio stride).
+  const auto scrambled = [&](std::uint64_t i) {
+    return static_cast<std::size_t>((i * common::kGolden64) % population);
+  };
+
+  StateStoreNumbers out;
+
+  // ---- Flat slab-backed store (the shipped layout) ----
+  {
+    common::Slab<FakeTxn> slab;
+    common::FlatTable<common::SlabHandle> table;
+    std::vector<common::SlabHandle> handles(population);
+    const auto probe_find = [&](std::size_t i) -> FakeTxn* {
+      // What dispatch does: hash the key fields in place, probe, compare
+      // views against the slab-resident object's own fields.
+      const std::string_view branch = branches[i];
+      const std::string_view sent_by = host_of(i);
+      const std::uint64_t h =
+          sip::txn_key_hash(branch, sent_by, sip::Method::kInvite);
+      common::SlabHandle* slot =
+          table.find(h, [&](const common::SlabHandle& v) {
+            const FakeTxn* t = slab.get(v);
+            return t->branch == branch && t->sent_by == sent_by &&
+                   t->method == sip::Method::kInvite;
+          });
+      return slot != nullptr ? slab.get(*slot) : nullptr;
+    };
+    const auto create = [&](std::size_t i) {
+      const std::uint64_t h = sip::txn_key_hash(branches[i], host_of(i),
+                                                sip::Method::kInvite);
+      handles[i] =
+          slab.emplace(FakeTxn{branches[i], host_of(i), sip::Method::kInvite});
+      table.insert(h, handles[i]);
+    };
+    const auto erase = [&](std::size_t i) {
+      const std::uint64_t h = sip::txn_key_hash(branches[i], host_of(i),
+                                                sip::Method::kInvite);
+      table.erase(h, [&](const common::SlabHandle& v) {
+        return v == handles[i];
+      });
+      slab.erase(handles[i]);
+    };
+    for (std::size_t i = 0; i < population; ++i) create(i);
+
+    std::uint64_t found = 0;
+    auto start = Clock::now();
+    for (std::uint64_t i = 0; i < lookups; ++i) {
+      FakeTxn* t = probe_find(scrambled(i));
+      if (t != nullptr) {
+        ++t->hits;
+        ++found;
+      }
+    }
+    out.flat_dispatch_per_sec =
+        static_cast<double>(lookups) / seconds_since(start);
+    benchmark::DoNotOptimize(found);
+
+    // Steady churn: at a fixed live population, erase + re-create must be
+    // served entirely from the freelist and the settled table capacity.
+    const std::uint64_t allocs_before =
+        slab.stats().chunk_allocs + table.stats().grows;
+    start = Clock::now();
+    for (std::uint64_t i = 0; i < churn_iters; ++i) {
+      const std::size_t k = scrambled(i);
+      erase(k);
+      create(k);
+    }
+    out.flat_churn_per_sec =
+        static_cast<double>(churn_iters) / seconds_since(start);
+    out.steady_allocs =
+        slab.stats().chunk_allocs + table.stats().grows - allocs_before;
+  }
+
+  // ---- Node-based baseline (the layout this replaced) ----
+  {
+    std::unordered_map<sip::TransactionKey, std::unique_ptr<FakeTxn>,
+                       sip::TransactionKeyHash>
+        map;
+    const auto make_key = [&](std::size_t i) {
+      // What the old dispatch did: materialize an owning TransactionKey
+      // (two string copies) per probe.
+      return sip::TransactionKey{branches[i], host_of(i),
+                                 sip::Method::kInvite};
+    };
+    for (std::size_t i = 0; i < population; ++i) {
+      map[make_key(i)] = std::make_unique<FakeTxn>(
+          FakeTxn{branches[i], host_of(i), sip::Method::kInvite});
+    }
+
+    std::uint64_t found = 0;
+    auto start = Clock::now();
+    for (std::uint64_t i = 0; i < lookups; ++i) {
+      const auto it = map.find(make_key(scrambled(i)));
+      if (it != map.end()) {
+        ++it->second->hits;
+        ++found;
+      }
+    }
+    out.map_dispatch_per_sec =
+        static_cast<double>(lookups) / seconds_since(start);
+    benchmark::DoNotOptimize(found);
+
+    start = Clock::now();
+    for (std::uint64_t i = 0; i < churn_iters; ++i) {
+      const std::size_t k = scrambled(i);
+      map.erase(make_key(k));
+      map[make_key(k)] = std::make_unique<FakeTxn>(
+          FakeTxn{branches[k], host_of(k), sip::Method::kInvite});
+    }
+    out.map_churn_per_sec =
+        static_cast<double>(churn_iters) / seconds_since(start);
+  }
+
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // The standard Figure-5 two-series sweep, timed wall-clock end to end.
 // ---------------------------------------------------------------------------
 double bench_fig5_sweep(double* static_sat, double* dynamic_sat) {
@@ -239,6 +406,33 @@ int main(int argc, char** argv) {
   const double wire = bench_to_wire(wire_iters);
   std::printf("to_wire serialization : %12.0f msgs/sec\n", wire);
 
+  // Live population models an element near saturation (thousands to tens of
+  // thousands of in-flight transactions — 128k is already generous); the
+  // churn phase then creates + erases well past 10^6 transactions through
+  // that fixed live set, which is the ROADMAP-scale pattern (millions of
+  // calls per sweep, bounded concurrency).
+  const std::size_t store_population = g_quick ? 65'536 : 131'072;
+  const std::uint64_t store_lookups = g_quick ? 2'000'000 : 8'000'000;
+  const std::uint64_t store_churn = g_quick ? 500'000 : 2'000'000;
+  const StateStoreNumbers store =
+      bench_state_store(store_population, store_lookups, store_churn);
+  const double dispatch_speedup =
+      store.map_dispatch_per_sec > 0.0
+          ? store.flat_dispatch_per_sec / store.map_dispatch_per_sec
+          : 0.0;
+  const double churn_speedup =
+      store.map_churn_per_sec > 0.0
+          ? store.flat_churn_per_sec / store.map_churn_per_sec
+          : 0.0;
+  std::printf("state store dispatch  : %12.0f lookups/sec flat, "
+              "%12.0f map (%.2fx)\n",
+              store.flat_dispatch_per_sec, store.map_dispatch_per_sec,
+              dispatch_speedup);
+  std::printf("state store churn     : %12.0f pairs/sec flat, "
+              "%12.0f map (%.2fx)\n",
+              store.flat_churn_per_sec, store.map_churn_per_sec,
+              churn_speedup);
+
   double static_sat = 0.0, dynamic_sat = 0.0;
   const double sweep_seconds = bench_fig5_sweep(&static_sat, &dynamic_sat);
   std::printf("fig5 two-series sweep : %12.2f s wall-clock%s\n", sweep_seconds,
@@ -278,6 +472,13 @@ int main(int argc, char** argv) {
               "steady forward loop (want 0) -> %s\n",
               static_cast<unsigned long long>(steady_fresh_allocs),
               message_gate_ok ? "ok" : "FAIL");
+  // The state store's steady churn (fixed live population) must be served
+  // entirely from the slab freelist and the settled table capacity.
+  const bool store_gate_ok = store.steady_allocs == 0;
+  std::printf("alloc gate            : %llu state-store allocs in steady "
+              "churn (want 0) -> %s\n",
+              static_cast<unsigned long long>(store.steady_allocs),
+              store_gate_ok ? "ok" : "FAIL");
 
   BenchReport report("perf_core");
   report.root()["quick"] = g_quick;
@@ -296,7 +497,19 @@ int main(int argc, char** argv) {
                     static_cast<double>(steady_fresh_allocs));
   report.add_metric("message_pool_reuses",
                     static_cast<double>(sip::message_pool_stats().reuses));
-  report.root()["alloc_gate_pass"] = event_gate_ok && message_gate_ok;
+  report.add_metric("state_store_flat_dispatch_per_sec",
+                    store.flat_dispatch_per_sec);
+  report.add_metric("state_store_map_dispatch_per_sec",
+                    store.map_dispatch_per_sec);
+  report.add_metric("state_store_dispatch_speedup", dispatch_speedup);
+  report.add_metric("state_store_flat_churn_per_sec",
+                    store.flat_churn_per_sec);
+  report.add_metric("state_store_map_churn_per_sec", store.map_churn_per_sec);
+  report.add_metric("state_store_churn_speedup", churn_speedup);
+  report.add_metric("state_store_steady_allocs",
+                    static_cast<double>(store.steady_allocs));
+  report.root()["alloc_gate_pass"] =
+      event_gate_ok && message_gate_ok && store_gate_ok;
   report.write();
-  return event_gate_ok && message_gate_ok ? 0 : 1;
+  return event_gate_ok && message_gate_ok && store_gate_ok ? 0 : 1;
 }

@@ -1,0 +1,59 @@
+// The one FNV-1a in the codebase.
+//
+// Transaction keys (sip/branch), dialog ids (dialog/dialog) and the
+// network's per-datagram RNG seeding (sim/network) all hash with the same
+// cheap byte loop — the "Hashing" cost block of the paper's Figure 3, the
+// kind of header hash OpenSER uses for transaction lookup. Before this
+// header each module carried a private copy; any drift between them would
+// silently change digests (the datagram seeds feed loss/jitter draws).
+// The constants are pinned by tests/state_store_test.cpp.
+//
+// All functions are constexpr and allocation-free: callers hash
+// string_views straight off a parsed message, which is what lets the state
+// tables probe without materializing owning key strings.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace svk::common {
+
+/// FNV-1a 64-bit offset basis and prime (the classic parameters).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// 64-bit golden-ratio constant, used to fold small enums/integers into an
+/// FNV state (and by the network's counter-based seed mixing).
+inline constexpr std::uint64_t kGolden64 = 0x9E3779B97F4A7C15ULL;
+/// SplitMix64's first mixing multiplier; second stream of the seed mix.
+inline constexpr std::uint64_t kSplitMix64A = 0xBF58476D1CE4E5B9ULL;
+
+/// FNV-1a over `data`, continuing from `seed` — chain calls to hash
+/// multi-part keys without concatenating them.
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::string_view data, std::uint64_t seed = kFnvOffsetBasis) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Folds one byte into an FNV-1a state (for separators like '@').
+[[nodiscard]] constexpr std::uint64_t fnv1a_byte(std::uint8_t byte,
+                                                 std::uint64_t seed) noexcept {
+  return (seed ^ byte) * kFnvPrime;
+}
+
+/// The network layer's per-datagram seed mix: base seed x stream id x
+/// per-stream counter. Cheap by design — Rng's SplitMix64 seeding finishes
+/// the scrambling. Extracted verbatim from sim/network.hpp; changing this
+/// changes every loss/jitter draw and therefore every digest.
+[[nodiscard]] constexpr std::uint64_t counter_seed(std::uint64_t base,
+                                                   std::uint64_t stream,
+                                                   std::uint64_t n) noexcept {
+  return base ^ (stream * kGolden64) ^ (n * kSplitMix64A);
+}
+
+}  // namespace svk::common

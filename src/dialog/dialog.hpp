@@ -4,14 +4,22 @@
 // (re-INVITE, BYE). The paper's "Dialog Stateful" mode keeps one of these
 // records per call for the whole call duration — the costliest mode in its
 // Figure 3 profile.
+//
+// Records live in a Slab (stable addresses, freelist reuse); the table is a
+// FlatTable of (precomputed id hash, slab handle). The only owning strings
+// are inside the Dialog record itself (its id — the key-inside-value
+// layout of DESIGN.md §12); lookups hash Call-ID + tags straight off the
+// message into a DialogProbe and compare views, so the in-dialog hot path
+// (match on every BYE, confirm on every 2xx) allocates nothing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 
+#include "common/flat_table.hpp"
 #include "common/sim_time.hpp"
+#include "common/slab.hpp"
 #include "sip/message.hpp"
 
 namespace svk::dialog {
@@ -34,6 +42,30 @@ struct DialogIdHash {
   std::size_t operator()(const DialogId& id) const noexcept;
 };
 
+/// Non-owning dialog lookup key: the precomputed id hash plus views of the
+/// normalized (call_id, tag_a, tag_b) triple. Views borrow from the probed
+/// message; a probe must not outlive it.
+struct DialogProbe {
+  std::uint64_t hash = 0;
+  std::string_view call_id;
+  std::string_view tag_a;
+  std::string_view tag_b;
+
+  /// Builds a probe, normalizing tag order exactly like DialogId::make.
+  [[nodiscard]] static DialogProbe make(std::string_view call_id,
+                                        std::string_view tag1,
+                                        std::string_view tag2);
+
+  [[nodiscard]] bool matches(const DialogId& id) const noexcept {
+    return call_id == id.call_id && tag_a == id.tag_a && tag_b == id.tag_b;
+  }
+};
+
+/// The hash DialogProbe and DialogIdHash share.
+[[nodiscard]] std::uint64_t dialog_id_hash(std::string_view call_id,
+                                           std::string_view tag_a,
+                                           std::string_view tag_b) noexcept;
+
 enum class DialogState { kEarly, kConfirmed, kTerminated };
 
 /// One dialog record.
@@ -52,15 +84,19 @@ class DialogManager {
   Dialog& create_early(const sip::Message& invite, SimTime now);
 
   /// Promotes an early dialog to confirmed when the 2xx arrives carrying
-  /// the UAS tag; re-keys the record. Returns the confirmed dialog, or
-  /// nullptr when no early dialog matches.
+  /// the UAS tag; re-keys the record (in place — the record's address is
+  /// slab-stable). Returns the confirmed dialog, or nullptr when no early
+  /// dialog matches.
   Dialog* confirm(const sip::Message& response_2xx);
 
   /// Finds the dialog an in-dialog request (e.g. BYE) belongs to.
   [[nodiscard]] Dialog* match(const sip::Message& request);
 
   /// Removes a dialog (after the BYE transaction completes).
-  void terminate(const DialogId& id);
+  void terminate(const DialogProbe& probe);
+  void terminate(const DialogId& id) {
+    terminate(DialogProbe::make(id.call_id, id.tag_a, id.tag_b));
+  }
 
   /// Removes the early dialog a failed INVITE belongs to (non-2xx final or
   /// transaction timeout — the call will never confirm). Keyed like
@@ -74,13 +110,22 @@ class DialogManager {
   /// an established call legitimately lasts arbitrarily long.
   std::size_t expire_early(SimTime now, SimTime ttl);
 
-  [[nodiscard]] std::size_t active_count() const { return dialogs_.size(); }
+  [[nodiscard]] std::size_t active_count() const { return slab_.size(); }
   [[nodiscard]] std::uint64_t created_count() const { return created_; }
   [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
   [[nodiscard]] std::uint64_t abandoned_count() const { return abandoned_; }
 
+  /// Allocation events ever made by the store (perf-gate counter).
+  [[nodiscard]] std::uint64_t store_allocs() const {
+    return slab_.stats().chunk_allocs + table_.stats().grows;
+  }
+
  private:
-  std::unordered_map<DialogId, Dialog, DialogIdHash> dialogs_;
+  [[nodiscard]] Dialog* find(const DialogProbe& probe);
+  void erase(const Dialog& dialog, common::SlabHandle slot);
+
+  common::Slab<Dialog> slab_;
+  common::FlatTable<common::SlabHandle> table_;
   std::uint64_t created_{0};
   std::uint64_t expired_{0};
   std::uint64_t abandoned_{0};

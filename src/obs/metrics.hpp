@@ -79,6 +79,52 @@ class TimeSeries {
   std::uint64_t dropped_{0};
 };
 
+class MetricRegistry;
+
+/// Pre-resolved counter reference for hot paths. Looking an instrument up
+/// by name costs a string hash plus a map probe per event; a handle does
+/// that once per registry and afterwards is a pointer compare + increment.
+/// Registries attach late and differ per shard, so the handle re-resolves
+/// whenever the registry pointer it is shown changes (instrument references
+/// are stable for a registry's lifetime — deque-backed).
+class CounterHandle {
+ public:
+  explicit CounterHandle(std::string name) : name_(std::move(name)) {}
+
+  void inc(MetricRegistry* registry, std::uint64_t n = 1);
+
+ private:
+  std::string name_;
+  MetricRegistry* registry_{nullptr};
+  Counter* counter_{nullptr};
+};
+
+/// Pre-resolved gauge reference; same contract as CounterHandle.
+class GaugeHandle {
+ public:
+  explicit GaugeHandle(std::string name) : name_(std::move(name)) {}
+
+  void set(MetricRegistry* registry, double v);
+
+ private:
+  std::string name_;
+  MetricRegistry* registry_{nullptr};
+  Gauge* gauge_{nullptr};
+};
+
+/// Pre-resolved time-series reference; same contract as CounterHandle.
+class SeriesHandle {
+ public:
+  explicit SeriesHandle(std::string name) : name_(std::move(name)) {}
+
+  void sample(MetricRegistry* registry, SimTime at, double v);
+
+ private:
+  std::string name_;
+  MetricRegistry* registry_{nullptr};
+  TimeSeries* series_{nullptr};
+};
+
 /// Name-indexed instrument registry with stable creation order.
 class MetricRegistry {
  public:
@@ -108,5 +154,33 @@ class MetricRegistry {
   std::unordered_map<std::string, std::size_t> gauge_index_;
   std::unordered_map<std::string, std::size_t> series_index_;
 };
+
+inline void CounterHandle::inc(MetricRegistry* registry, std::uint64_t n) {
+  if (registry == nullptr) return;
+  if (registry != registry_) {
+    registry_ = registry;
+    counter_ = &registry->counter(name_);
+  }
+  counter_->inc(n);
+}
+
+inline void GaugeHandle::set(MetricRegistry* registry, double v) {
+  if (registry == nullptr) return;
+  if (registry != registry_) {
+    registry_ = registry;
+    gauge_ = &registry->gauge(name_);
+  }
+  gauge_->set(v);
+}
+
+inline void SeriesHandle::sample(MetricRegistry* registry, SimTime at,
+                                 double v) {
+  if (registry == nullptr) return;
+  if (registry != registry_) {
+    registry_ = registry;
+    series_ = &registry->series(name_);
+  }
+  series_->sample(at, v);
+}
 
 }  // namespace svk::obs

@@ -2,6 +2,13 @@
 // database an exit proxy consults to reach the callee's device. The paper's
 // "Lookup" cost block is the query against this service (OpenSER's usrloc
 // table).
+//
+// Storage follows the flat state-store layout (DESIGN.md §12): entries live
+// in a Slab and the index is a FlatTable of (AOR hash, slab handle) — the
+// AOR string is owned once, inside the entry. The hot-path query is
+// lookup_uri, which hashes user '@' host straight off the request URI's
+// parts and compares piecewise, so the per-call routing lookup neither
+// builds the "user@host" string nor allocates.
 #pragma once
 
 #include <atomic>
@@ -10,9 +17,11 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 
+#include "common/flat_table.hpp"
 #include "common/sim_time.hpp"
+#include "common/slab.hpp"
 #include "sip/uri.hpp"
 
 namespace svk::proxy {
@@ -28,32 +37,48 @@ struct Binding {
 class LocationService {
  public:
   /// Registers (or replaces) the binding for `aor` ("user@domain").
-  void register_binding(const std::string& aor, sip::Uri contact,
+  void register_binding(std::string_view aor, sip::Uri contact,
                         SimTime expires_at = SimTime::max());
 
-  void unregister(const std::string& aor);
+  void unregister(std::string_view aor);
 
   /// Looks up the current contact for the given address-of-record.
   /// Bindings whose expiry has passed `now` are treated as absent.
-  [[nodiscard]] std::optional<Binding> lookup(const std::string& aor,
+  [[nodiscard]] std::optional<Binding> lookup(std::string_view aor,
                                               SimTime now = SimTime{}) const;
+
+  /// lookup for `uri.aor()` without materializing the AOR string: hashes
+  /// and compares the user/host parts in place.
+  [[nodiscard]] std::optional<Binding> lookup_uri(const sip::Uri& uri,
+                                                  SimTime now) const;
 
   [[nodiscard]] std::size_t size() const {
     std::shared_lock lock(mutex_);
-    return bindings_.size();
+    return table_.size();
   }
   [[nodiscard]] std::uint64_t query_count() const {
     return queries_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct Entry {
+    std::string aor;
+    Binding binding;
+  };
+
+  [[nodiscard]] std::optional<Binding> lookup_hashed(std::uint64_t hash,
+                                                     std::string_view user,
+                                                     std::string_view host,
+                                                     SimTime now) const;
+
   /// One service is shared by every proxy of a bed, so under the sharded
   /// engine different shard threads may touch it in the same safe window.
   /// The lock makes the *container* safe; result determinism holds because
   /// all traffic for one AOR goes through its registrar proxy — a single
   /// host, hence a single shard (see DESIGN.md §11).
   mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, Binding> bindings_;
+  common::Slab<Entry> slab_;
+  common::FlatTable<common::SlabHandle> table_;
   mutable std::atomic<std::uint64_t> queries_{0};
 };
 

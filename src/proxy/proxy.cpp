@@ -43,7 +43,8 @@ ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
       auth_(config_.auth_realm.empty() ? config_.host : config_.auth_realm,
             config_.auth_nonce.empty() ? "nonce-" + config_.host
                                        : config_.auth_nonce),
-      branches_(config_.address.value()) {
+      branches_(config_.address.value()),
+      dialogs_live_gauge_("dialogs_live." + config_.host) {
   assert(policy_ != nullptr);
   policy_->register_paths(routes_.paths());
   policy_->send_overload = [this](bool on, double rate) {
@@ -90,10 +91,9 @@ ProxyServer::ProxyServer(sim::Simulator& sim, SipNetwork& network,
         sim_, SimTime::nanos(config_.dialog_ttl.ns() / 2), [this] {
           stats_.dialogs_expired +=
               dialogs_.expire_early(sim_.now(), config_.dialog_ttl);
-          if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
-            obs.metrics->gauge("dialogs_live." + config_.host)
-                .set(static_cast<double>(dialogs_.active_count()));
-          }
+          dialogs_live_gauge_.set(
+              sim_.obs().metrics,
+              static_cast<double>(dialogs_.active_count()));
         });
     dialog_sweep_->start();
   }
@@ -130,7 +130,7 @@ bool ProxyServer::is_control(const sip::Message& msg) const {
 
 void ProxyServer::on_datagram(Address from, const sip::MessagePtr& msg) {
   if (const obs::Sinks& obs = sim_.obs(); obs.any()) {
-    if (obs.metrics != nullptr) obs.metrics->counter("proxy.rx").inc();
+    rx_counter_.inc(obs.metrics);
     if (obs.tracer != nullptr) {
       obs.tracer->instant("rx", "msg", sim_.now(), config_.address.value(),
                           "from", static_cast<double>(from.value()),
@@ -295,9 +295,7 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
         ++stats_.throttled_503;
       }
       if (const obs::Sinks& obs = sim_.obs(); obs.any()) {
-        if (obs.metrics != nullptr) {
-          obs.metrics->counter("overload.rejected_503").inc();
-        }
+        rejected_503_counter_.inc(obs.metrics);
         if (obs.tracer != nullptr) {
           obs.tracer->instant(
               "overload_503", "overload", sim_.now(),
@@ -323,11 +321,8 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
   CostVector cost = CpuCostModel::forward(mode_for(decision), kind);
   const bool stateful = decision == StateDecision::kStateful;
   if (const obs::Sinks& obs = sim_.obs(); obs.any()) {
-    if (obs.metrics != nullptr) {
-      obs.metrics
-          ->counter(stateful ? "decision.stateful" : "decision.stateless")
-          .inc();
-    }
+    (stateful ? decision_stateful_counter_ : decision_stateless_counter_)
+        .inc(obs.metrics);
     if (obs.tracer != nullptr) {
       obs.tracer->instant("state_decision", "policy", sim_.now(),
                           config_.address.value(), "stateful",
@@ -398,9 +393,7 @@ void ProxyServer::plan_new_request(Address from, const sip::MessagePtr& msg) {
   if (msg->method() == sip::Method::kInvite && overload_ == nullptr) {
     if (!cpu_.submit(cost.total(), std::move(action))) {
       ++stats_.rejected_busy;
-      if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
-        obs.metrics->counter("proxy.rejected_busy").inc();
-      }
+      rejected_busy_counter_.inc(sim_.obs().metrics);
       respond_urgent(*msg, sip::status::kServerError, from);
       return;
     }
@@ -426,16 +419,21 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
     return;
   }
 
-  const sip::TransactionKey server_key = sip::server_key(*msg);
   txn::ServerCallbacks server_callbacks;
   if (msg->method() == sip::Method::kInvite) {
-    invite_relays_[server_key] = {fwd, target};
-    server_callbacks.on_terminated = [this, server_key] {
-      invite_relays_.erase(server_key);
+    // The relay's key is the upstream INVITE's server-transaction key; the
+    // INVITE itself rides in the value, so removal and CANCEL lookup
+    // compare against it instead of an owning key copy.
+    const sip::TxnProbe probe = sip::key_for_request(*msg);
+    invite_relays_.insert(probe.hash, InviteRelay{msg, fwd, target});
+    server_callbacks.on_terminated = [this, hash = probe.hash, msg] {
+      invite_relays_.erase(
+          hash, [&](const InviteRelay& r) { return r.invite == msg; });
     };
   }
-  auto& server_txn =
-      txns_.create_server(msg, sender_to(from), std::move(server_callbacks));
+  txn::TxnHandle server_handle;
+  auto& server_txn = txns_.create_server(
+      msg, sender_to(from), std::move(server_callbacks), &server_handle);
 
   if (msg->method() == sip::Method::kInvite) {
     auto trying = sip::Message::response(*msg, sip::status::kTrying);
@@ -450,7 +448,7 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
       config_.stateful_mode == HandlingMode::kDialogStatefulAuth;
 
   txn::ClientCallbacks callbacks;
-  callbacks.on_response = [this, server_key, dialog_mode](
+  callbacks.on_response = [this, server_handle, dialog_mode](
                               const sip::MessagePtr& response) {
     sip::Message up = sip::clone(*response);
     if (up.vias().empty() || up.top_via().sent_by != config_.host) {
@@ -461,7 +459,7 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
       if (response->cseq().method == sip::Method::kInvite) {
         dialogs_.confirm(*response);
       } else if (response->cseq().method == sip::Method::kBye) {
-        dialogs_.terminate(dialog::DialogId::make(
+        dialogs_.terminate(dialog::DialogProbe::make(
             response->call_id(), response->from().tag, response->to().tag));
       }
     } else if (dialog_mode && sip::is_final(response->status_code()) &&
@@ -472,20 +470,20 @@ void ProxyServer::execute_stateful_forward(Address from, sip::MessagePtr msg,
     }
     stamp_oc(up);
     auto up_ptr = std::move(up).finish();
-    if (auto* srv = txns_.find_server(server_key)) {
+    if (auto* srv = txns_.find_server(server_handle)) {
       srv->respond(up_ptr);
     } else {
       forward_response_stateless(up_ptr);
     }
     ++stats_.responses_forwarded;
   };
-  callbacks.on_timeout = [this, server_key, msg, dialog_mode] {
+  callbacks.on_timeout = [this, server_handle, msg, dialog_mode] {
     ++stats_.proxy_timeouts;
     if (dialog_mode && msg->method() == sip::Method::kInvite) {
       // Downstream never answered: the early dialog is dead.
       if (dialogs_.abandon_early(*msg)) ++stats_.dialogs_abandoned;
     }
-    if (auto* srv = txns_.find_server(server_key)) {
+    if (auto* srv = txns_.find_server(server_handle)) {
       sip::Message timeout =
           sip::Message::response(*msg, sip::status::kRequestTimeout);
       stamp_oc(timeout);
@@ -551,7 +549,7 @@ void ProxyServer::admit_response(Address from, const sip::MessagePtr& msg) {
       if (msg->cseq().method == sip::Method::kInvite) {
         dialogs_.confirm(*msg);
       } else if (msg->cseq().method == sip::Method::kBye) {
-        dialogs_.terminate(dialog::DialogId::make(
+        dialogs_.terminate(dialog::DialogProbe::make(
             msg->call_id(), msg->from().tag, msg->to().tag));
       }
     } else if (dialog_mode && sip::is_final(msg->status_code()) &&
@@ -687,13 +685,24 @@ void ProxyServer::handle_cancel(Address from, const sip::MessagePtr& msg) {
     cancel_txn.respond(std::move(ok).finish());
 
     // Did we relay the INVITE statefully? Then cancel our own downstream
-    // leg with the branch of the forwarded INVITE (RFC 3261 9.1).
-    sip::TransactionKey invite_key = sip::server_key(*msg);
-    invite_key.method = sip::Method::kInvite;
-    if (const auto relay = invite_relays_.find(invite_key);
-        relay != invite_relays_.end()) {
-      const sip::MessagePtr& fwd_invite = relay->second.first;
-      const Address target = relay->second.second;
+    // leg with the branch of the forwarded INVITE (RFC 3261 9.1). The
+    // CANCEL shares branch and sent-by with its INVITE, so the relay probe
+    // is the CANCEL's key with the method swapped — hashed off the message,
+    // no key temporary.
+    const sip::Via& cancel_via = msg->top_via();
+    const std::uint64_t invite_hash = sip::txn_key_hash(
+        cancel_via.branch, cancel_via.sent_by, sip::Method::kInvite);
+    const InviteRelay* relay =
+        invite_relays_.find(invite_hash, [&](const InviteRelay& r) {
+          const sip::Via& via = r.invite->top_via();
+          return via.branch == cancel_via.branch &&
+                 via.sent_by == cancel_via.sent_by;
+        });
+    if (relay != nullptr) {
+      // Copy out before any further table mutation: FlatTable references
+      // do not survive insert/erase.
+      const sip::MessagePtr fwd_invite = relay->fwd;
+      const Address target = relay->target;
       sip::Message cancel = sip::Message::request(
           sip::Method::kCancel, fwd_invite->request_uri(),
           fwd_invite->from(), fwd_invite->to(), fwd_invite->call_id(),
@@ -866,8 +875,9 @@ std::optional<ProxyServer::LocalTarget> ProxyServer::resolve_local_target(
     return LocalTarget{*direct, std::nullopt};
   }
   // Otherwise an address-of-record: consult the location service and
-  // retarget to the current contact.
-  const auto binding = location_->lookup(uri.aor(), sim_.now());
+  // retarget to the current contact. lookup_uri hashes user@host off the
+  // URI parts — no AOR string is built for the per-call routing query.
+  const auto binding = location_->lookup_uri(uri, sim_.now());
   if (!binding) return std::nullopt;
   const auto address = registry_.resolve(binding->contact.host());
   if (!address) return std::nullopt;
@@ -878,9 +888,7 @@ void ProxyServer::send_charged(Address to, const sip::MessagePtr& msg) {
   const CostVector cost = CpuCostModel::transport_send();
   charge(cost);
   cpu_.submit_urgent(cost.total(), nullptr);
-  if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
-    obs.metrics->counter("proxy.tx").inc();
-  }
+  tx_counter_.inc(sim_.obs().metrics);
   network_.send(config_.address, to, msg);
 }
 

@@ -24,8 +24,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "common/types.hpp"
 #include "dialog/dialog.hpp"
+#include "obs/metrics.hpp"
 #include "overload/overload.hpp"
 #include "profile/cost_model.hpp"
 #include "profile/profiler.hpp"
@@ -269,13 +271,18 @@ class ProxyServer {
   std::unique_ptr<sim::PeriodicTimer> overload_timer_;
   /// Early-dialog expiry sweep; only armed in dialog-stateful modes.
   std::unique_ptr<sim::PeriodicTimer> dialog_sweep_;
-  /// Stateful INVITE relays: upstream server key -> the INVITE we forwarded
-  /// downstream (needed to construct a matching CANCEL). Entries are
-  /// removed when the server transaction terminates.
-  std::unordered_map<sip::TransactionKey,
-                     std::pair<sip::MessagePtr, Address>,
-                     sip::TransactionKeyHash>
-      invite_relays_;
+  /// Stateful INVITE relay: the upstream INVITE (whose top Via is the
+  /// table key — key-inside-value, no owning key strings) plus the INVITE
+  /// we forwarded downstream (needed to construct a matching CANCEL) and
+  /// its destination. Entries are removed when the server transaction
+  /// terminates.
+  struct InviteRelay {
+    sip::MessagePtr invite;
+    sip::MessagePtr fwd;
+    Address target;
+  };
+  /// Keyed by the upstream server-transaction key hash.
+  common::FlatTable<InviteRelay> invite_relays_;
   std::vector<Address> upstream_proxies_;
   std::uint64_t overload_signal_seq_{0};
   /// Error-diffusion accumulator realizing overload_signal_loss.
@@ -283,6 +290,15 @@ class ProxyServer {
   /// Last advertised overload status, restated when a probe arrives.
   bool last_overload_on_{false};
   double last_overload_rate_{0.0};
+  /// Pre-resolved hot-path instruments (one pointer compare per event
+  /// instead of a name hash + map probe; see obs::CounterHandle).
+  obs::CounterHandle rx_counter_{"proxy.rx"};
+  obs::CounterHandle tx_counter_{"proxy.tx"};
+  obs::CounterHandle rejected_503_counter_{"overload.rejected_503"};
+  obs::CounterHandle rejected_busy_counter_{"proxy.rejected_busy"};
+  obs::CounterHandle decision_stateful_counter_{"decision.stateful"};
+  obs::CounterHandle decision_stateless_counter_{"decision.stateless"};
+  obs::GaugeHandle dialogs_live_gauge_;  // name carries the host; see ctor
   ProxyStats stats_;
 };
 

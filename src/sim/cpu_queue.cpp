@@ -22,7 +22,7 @@ bool CpuQueue::submit(double cost, Completion done) {
       obs.tracer->instant("cpu_reject", "cpu", sim_.now(), trace_tid_,
                           "backlog_ms", backlog().to_millis());
     }
-    if (obs.metrics != nullptr) obs.metrics->counter("cpu.rejected").inc();
+    rejected_counter_.inc(obs.metrics);
     return false;
   }
   enqueue(cost, std::move(done));
@@ -49,7 +49,7 @@ void CpuQueue::enqueue(double cost, Completion done) {
     obs.tracer->complete("service", "cpu", start, service, trace_tid_,
                          "cost", cost);
   }
-  if (obs.metrics != nullptr) obs.metrics->counter("cpu.admitted").inc();
+  admitted_counter_.inc(obs.metrics);
   if (done) {
     sim_.schedule_at(busy_until_, std::move(done));
   }

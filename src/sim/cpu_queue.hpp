@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "common/sim_time.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace svk::sim {
@@ -82,6 +83,9 @@ class CpuQueue {
   SimTime total_service_;     // sum of all admitted service times
   CpuStats stats_;
   std::uint32_t trace_tid_{0};
+  // Pre-resolved instruments: enqueue runs once per message per node.
+  obs::CounterHandle admitted_counter_{"cpu.admitted"};
+  obs::CounterHandle rejected_counter_{"cpu.rejected"};
 };
 
 /// Measures mean CPU utilization over an interval by snapshotting

@@ -34,6 +34,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "common/types.hpp"
@@ -359,8 +360,9 @@ class Network {
   [[nodiscard]] std::uint64_t datagram_seed(std::uint64_t pair,
                                             std::uint64_t n) const {
     // Cheap mix; Rng's SplitMix64 seeding finishes the scrambling.
-    return seed_ ^ (pair * 0x9E3779B97F4A7C15ULL) ^
-           (n * 0xBF58476D1CE4E5B9ULL);
+    // Delegates to the shared constant-pinned mixer: changing it would
+    // change every loss/jitter draw and therefore every digest.
+    return common::counter_seed(seed_, pair, n);
   }
 
   const LinkParams& link_for(Address from, Address to) const {

@@ -2,21 +2,11 @@
 
 #include <cstdio>
 
+#include "common/hash.hpp"
+
 namespace svk::sip {
-namespace {
 
-/// FNV-1a, the kind of cheap header hash OpenSER uses for transaction
-/// lookup (the "Hashing" cost block of Figure 3).
-std::uint64_t fnv1a(std::string_view data, std::uint64_t seed = 0xcbf29ce484222325ULL) {
-  std::uint64_t h = seed;
-  for (const char c : data) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
+using common::fnv1a;
 
 std::string BranchGenerator::next() {
   char buf[48];
@@ -35,12 +25,18 @@ std::string stateless_branch(std::string_view incoming_branch,
   return std::string(kMagicCookie) + buf;
 }
 
+std::uint64_t txn_key_hash(std::string_view branch, std::string_view sent_by,
+                           Method method) noexcept {
+  std::uint64_t h = fnv1a(branch);
+  h = fnv1a(sent_by, h);
+  h ^= static_cast<std::uint64_t>(method) * common::kGolden64;
+  return h;
+}
+
 std::size_t TransactionKeyHash::operator()(
     const TransactionKey& key) const noexcept {
-  std::uint64_t h = fnv1a(key.branch);
-  h = fnv1a(key.sent_by, h);
-  h ^= static_cast<std::uint64_t>(key.method) * 0x9E3779B97F4A7C15ULL;
-  return static_cast<std::size_t>(h);
+  return static_cast<std::size_t>(
+      txn_key_hash(key.branch, key.sent_by, key.method));
 }
 
 TransactionKey server_key(const Message& req) {
@@ -54,6 +50,26 @@ TransactionKey client_key(const Message& resp) {
   const Via& via = resp.top_via();
   Method method = resp.cseq().method;
   return TransactionKey{via.branch, via.sent_by.str(), method};
+}
+
+TxnProbe key_for_request(const Message& req) {
+  const Via& via = req.top_via();
+  Method method = req.method();
+  if (method == Method::kAck) method = Method::kInvite;
+  return TxnProbe{txn_key_hash(via.branch, via.sent_by, method), via.branch,
+                  via.sent_by, method};
+}
+
+TxnProbe key_for_response(const Message& resp) {
+  const Via& via = resp.top_via();
+  const Method method = resp.cseq().method;
+  return TxnProbe{txn_key_hash(via.branch, via.sent_by, method), via.branch,
+                  via.sent_by, method};
+}
+
+TxnProbe key_probe(const TransactionKey& key) {
+  return TxnProbe{txn_key_hash(key.branch, key.sent_by, key.method),
+                  key.branch, key.sent_by, key.method};
 }
 
 }  // namespace svk::sip

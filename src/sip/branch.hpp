@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "sip/message.hpp"
 
@@ -41,6 +42,47 @@ struct TransactionKey {
 struct TransactionKeyHash {
   std::size_t operator()(const TransactionKey& key) const noexcept;
 };
+
+/// A non-owning transaction probe: the precomputed 64-bit FNV-1a key hash
+/// plus views of the key fields, read straight off an incoming message.
+/// This is what the flat state tables match against — no TransactionKey
+/// temporary, no string copies, no allocation per dispatch. The views
+/// borrow from the probed message (branch) and the intern table (sent-by);
+/// a probe must not outlive the message it was computed from.
+struct TxnProbe {
+  std::uint64_t hash = 0;
+  std::string_view branch;
+  std::string_view sent_by;
+  Method method = Method::kInvite;
+
+  /// True when `branch`/`sent_by`/`method` equal the stored key fields.
+  [[nodiscard]] bool matches(std::string_view key_branch,
+                             std::string_view key_sent_by,
+                             Method key_method) const noexcept {
+    return method == key_method && branch == key_branch &&
+           sent_by == key_sent_by;
+  }
+};
+
+/// The hash TxnProbe and TransactionKeyHash share: FNV-1a over branch and
+/// sent-by, with the method folded in.
+[[nodiscard]] std::uint64_t txn_key_hash(std::string_view branch,
+                                         std::string_view sent_by,
+                                         Method method) noexcept;
+
+/// The probe a *server* transaction table matches an incoming request with
+/// (RFC 3261 17.2.3) — the view-based equivalent of server_key, computed
+/// once per message. Precondition: req has at least one Via.
+[[nodiscard]] TxnProbe key_for_request(const Message& req);
+
+/// The probe a *client* transaction table matches an incoming response with
+/// (RFC 3261 17.1.3) — the view-based equivalent of client_key.
+/// Precondition: resp has at least one Via.
+[[nodiscard]] TxnProbe key_for_response(const Message& resp);
+
+/// Probe over an owning key (for the key-based find overloads kept for
+/// callers that store a TransactionKey).
+[[nodiscard]] TxnProbe key_probe(const TransactionKey& key);
 
 /// Key a *server* transaction uses to match an incoming request
 /// (RFC 3261 17.2.3): top Via branch + sent-by + method, with ACK matching

@@ -75,6 +75,14 @@ class ClientTransaction {
   /// notifications; the manager sets this before start().
   void set_tap(ConformanceTap* tap) { tap_ = tap; }
 
+  /// Replaces the termination callback. The manager's removal wrapper
+  /// captures the table handle, which exists only once the transaction sits
+  /// in the slab — so it is installed right after construction, before any
+  /// event can fire.
+  void set_on_terminated(std::function<void()> f) {
+    callbacks_.on_terminated = std::move(f);
+  }
+
  private:
   void receive_response_impl(const sip::MessagePtr& response);
   void enter_completed_invite(const sip::MessagePtr& response);
@@ -132,6 +140,11 @@ class ServerTransaction {
 
   /// Installs (or clears) the conformance tap (see ClientTransaction).
   void set_tap(ConformanceTap* tap) { tap_ = tap; }
+
+  /// Replaces the termination callback (see ClientTransaction).
+  void set_on_terminated(std::function<void()> f) {
+    callbacks_.on_terminated = std::move(f);
+  }
 
  private:
   void receive_request_impl(const sip::MessagePtr& request);

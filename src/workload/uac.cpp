@@ -196,8 +196,8 @@ void Uac::on_invite_response(const std::string& call_id,
     const double setup_ms = (sim_.now() - call.invite_sent).to_millis();
     metrics_.setup_time_ms.add(setup_ms);
     if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
-      obs.metrics->counter("uac.calls_established").inc();
-      obs.metrics->series("uac.setup_ms").sample(sim_.now(), setup_ms);
+      established_counter_.inc(obs.metrics);
+      setup_series_.sample(obs.metrics, sim_.now(), setup_ms);
     }
 
     call.to_tag = msg->to().tag;
@@ -226,9 +226,7 @@ void Uac::on_invite_response(const std::string& call_id,
   } else {
     ++metrics_.calls_failed;
     if (code == sip::status::kServiceUnavailable) ++metrics_.calls_rejected;
-    if (const obs::Sinks& obs = sim_.obs(); obs.metrics != nullptr) {
-      obs.metrics->counter("uac.calls_failed").inc();
-    }
+    failed_counter_.inc(sim_.obs().metrics);
   }
   calls_.erase(it);
 }

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "proxy/proxy.hpp"
 #include "sim/simulator.hpp"
 #include "sip/branch.hpp"
@@ -115,6 +116,10 @@ class Uac {
   /// No new calls before this time (503 Retry-After backoff).
   SimTime backoff_until_;
   std::uint64_t call_counter_{0};
+  // Pre-resolved per-call instruments (hot under fig5-scale call volumes).
+  obs::CounterHandle established_counter_{"uac.calls_established"};
+  obs::CounterHandle failed_counter_{"uac.calls_failed"};
+  obs::SeriesHandle setup_series_{"uac.setup_ms"};
 };
 
 }  // namespace svk::workload

@@ -68,12 +68,13 @@ void Uas::handle_invite(Address from, const sip::MessagePtr& msg) {
   if (!msg->header(proxy::kStatefulMarkHeader)) {
     ++metrics_.unmarked_invites;
   }
+  txn::TxnHandle server_handle;
   auto& server_txn = txns_.create_server(
       msg,
       [this, from](const sip::MessagePtr& m) {
         network_.send(config_.address, from, m);
       },
-      txn::ServerCallbacks{});
+      txn::ServerCallbacks{}, &server_handle);
 
   const std::string tag = "uas" + std::to_string(++tag_counter_);
 
@@ -83,7 +84,7 @@ void Uas::handle_invite(Address from, const sip::MessagePtr& msg) {
 
   PendingAnswer pending;
   pending.invite = msg;
-  pending.server_key = sip::server_key(*msg);
+  pending.server_txn = server_handle;
   pending.tag = tag;
   pending.peer = from;
   const std::string call_id = msg->call_id();
@@ -107,7 +108,7 @@ void Uas::answer(const std::string& call_id) {
   ok.to().tag = ringing.tag;
   ok.set_contact(sip::NameAddr{"", contact_uri(), ""});
   auto ok_ptr = std::move(ok).finish();
-  if (auto* server_txn = txns_.find_server(ringing.server_key)) {
+  if (auto* server_txn = txns_.find_server(ringing.server_txn)) {
     server_txn->respond(ok_ptr);
   } else {
     network_.send(config_.address, ringing.peer, ok_ptr);
@@ -143,7 +144,7 @@ void Uas::handle_cancel(Address from, const sip::MessagePtr& msg) {
   ringing_.erase(it);
   ++metrics_.cancels_received;
 
-  if (auto* invite_txn = txns_.find_server(ringing.server_key)) {
+  if (auto* invite_txn = txns_.find_server(ringing.server_txn)) {
     sip::Message terminated =
         sip::Message::response(*ringing.invite, 487);
     terminated.to().tag = ringing.tag;

@@ -92,7 +92,9 @@ class Uas {
   /// Calls ringing (180 sent, 200 pending) — cancellable.
   struct PendingAnswer {
     sip::MessagePtr invite;
-    sip::TransactionKey server_key;
+    /// Handle of the INVITE server transaction: O(1) generation-checked
+    /// resolution at answer/cancel time, no owning key strings.
+    txn::TxnHandle server_txn;
     std::string tag;
     Address peer;
     sim::EventId timer = 0;
